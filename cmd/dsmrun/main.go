@@ -1,0 +1,67 @@
+// Command dsmrun executes one (application, version, processors) run and
+// prints its timed-region metrics: virtual time, speedup over the
+// sequential baseline, message count, and data volume.
+//
+// Usage:
+//
+//	dsmrun -app Jacobi -version tmk [-procs 8] [-scale mid]
+//
+// Versions: seq, spf, tmk, xhpf, pvme, spf-opt, tmk-opt, spf-old
+// (availability varies by application; see -list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func main() {
+	app := flag.String("app", "Jacobi", "application name (see -list)")
+	version := flag.String("version", "tmk", "version to run")
+	procs := flag.Int("procs", 8, "number of simulated processors")
+	scale := flag.String("scale", "mid", "problem scale: paper, mid, or small")
+	list := flag.Bool("list", false, "list applications and versions")
+	flag.Parse()
+
+	if *list {
+		for _, a := range harness.Apps() {
+			fmt.Printf("%-9s versions:", a.Name())
+			for _, v := range a.Versions() {
+				fmt.Printf(" %s", v)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	a, err := harness.AppByName(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r := harness.NewRunner(*procs, harness.Scale(*scale))
+	res, err := r.Run(a, core.Version(*version))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("app=%s version=%s procs=%d scale=%s\n", res.App, res.Version, res.Procs, *scale)
+	fmt.Printf("time      = %v\n", res.Time)
+	fmt.Printf("messages  = %d\n", res.Stats.TotalMsgs())
+	fmt.Printf("data      = %d KB\n", res.Stats.TotalKB())
+	fmt.Printf("checksum  = %g\n", res.Checksum)
+	fmt.Printf("breakdown = %s\n", res.Stats.String())
+	if res.FaultTime+res.SyncTime+res.WriteTime > 0 {
+		fmt.Printf("overheads = fault %v, sync %v, write-detect %v (summed over %d procs)\n",
+			res.FaultTime, res.SyncTime, res.WriteTime, res.Procs)
+	}
+	if *version != "seq" {
+		seq, err := r.Run(a, core.Seq)
+		if err == nil {
+			fmt.Printf("speedup   = %.2f (seq %v)\n", res.Speedup(seq.Time), seq.Time)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-procs 8] [-scale paper|mid|small] [-only table1,figure1,...]
+//
+// With no -only flag every experiment runs (Table 1, Figures 1-2,
+// Tables 2-3, the §5 hand optimizations, and the §2.3 interface
+// ablation). Paper scale matches Table 1's data sets and takes a few
+// minutes; mid scale preserves the page-granularity regime at a fraction
+// of the time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	procs := flag.Int("procs", 8, "number of simulated processors")
+	scale := flag.String("scale", "paper", "problem scale: paper, mid, or small")
+	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface)")
+	flag.Parse()
+
+	r := harness.NewRunner(*procs, harness.Scale(*scale))
+	run := func(name string, f func(w *os.File, r *harness.Runner) error) {
+		if err := f(os.Stdout, r); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	table := map[string]func(w *os.File, r *harness.Runner) error{
+		"table1":    func(w *os.File, r *harness.Runner) error { return harness.Table1(w, r) },
+		"figure1":   func(w *os.File, r *harness.Runner) error { return harness.Figure1(w, r) },
+		"table2":    func(w *os.File, r *harness.Runner) error { return harness.Table2(w, r) },
+		"figure2":   func(w *os.File, r *harness.Runner) error { return harness.Figure2(w, r) },
+		"table3":    func(w *os.File, r *harness.Runner) error { return harness.Table3(w, r) },
+		"handopt":   func(w *os.File, r *harness.Runner) error { return harness.HandOpt(w, r) },
+		"interface": func(w *os.File, r *harness.Runner) error { return harness.Interface(w, r) },
+		"scalability": func(w *os.File, r *harness.Runner) error {
+			return harness.Scalability(w, r, "Jacobi", []int{2, 4, 8})
+		},
+	}
+	order := []string{"table1", "figure1", "table2", "figure2", "table3", "handopt", "interface"}
+	want := order
+	if *only != "" {
+		want = strings.Split(*only, ",")
+	}
+	for _, name := range want {
+		f, ok := table[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability)\n", name, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		run(name, f)
+	}
+}

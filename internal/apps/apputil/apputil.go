@@ -1,0 +1,262 @@
+// Package apputil carries the measurement protocol shared by all six
+// applications: warm-up exclusion, timed-region traffic snapshots, and
+// the per-flavor run scaffolding (sequential, TreadMarks, SPF fork-join,
+// XHPF SPMD, PVMe). See core.Region for the boundary protocol.
+package apputil
+
+import (
+	"repro/internal/core"
+	"repro/internal/pvm"
+	"repro/internal/sim"
+	"repro/internal/spf"
+	"repro/internal/tmk"
+	"repro/internal/xhpf"
+)
+
+// SeqProgram is a sequential run: iterate is called Warmup+Iters times;
+// checksum is evaluated at the end.
+type SeqProgram struct {
+	Iterate  func(k int)
+	Checksum func() float64
+}
+
+// RunSeq measures a sequential program on a 1-process TreadMarks system
+// (synchronization removed, per paper §3) charging only compute costs.
+func RunSeq(app string, cfg core.Config, setup func(tm *tmk.Tmk) SeqProgram) (core.Result, error) {
+	sys := tmk.NewSystem(1, cfg.Costs)
+	reg := core.NewRegion(1)
+	var sum float64
+	err := sys.Run(func(tm *tmk.Tmk) {
+		p := setup(tm)
+		for k := 0; k < cfg.Warmup; k++ {
+			p.Iterate(k)
+		}
+		reg.Baseline(sys.Stats())
+		reg.Start(0, tm.Now())
+		for k := 0; k < cfg.Iters; k++ {
+			p.Iterate(cfg.Warmup + k)
+		}
+		reg.End(0, tm.Now())
+		reg.Final(sys.Stats())
+		sum = p.Checksum()
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Result{
+		App: app, Version: core.Seq, Procs: 1,
+		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
+	}, nil
+}
+
+// TmkProgram is a hand-coded TreadMarks program. Iterate runs on every
+// process; Checksum runs on process 0 after measurement (its page faults
+// are not counted).
+type TmkProgram struct {
+	Iterate  func(k int)
+	Checksum func() float64
+}
+
+// RunTmk measures a TreadMarks program.
+func RunTmk(app string, v core.Version, cfg core.Config, setup func(tm *tmk.Tmk) TmkProgram) (core.Result, error) {
+	sys := tmk.NewSystem(cfg.Procs, cfg.Costs)
+	reg := core.NewRegion(cfg.Procs)
+	var sum float64
+	profiles := make([]tmk.Profile, cfg.Procs)
+	err := sys.Run(func(tm *tmk.Tmk) {
+		p := setup(tm)
+		for k := 0; k < cfg.Warmup; k++ {
+			p.Iterate(k)
+		}
+		tm.BarrierSilent()
+		if tm.ID() == 0 {
+			reg.Baseline(sys.Stats())
+		}
+		tm.BarrierSilent()
+		base := tm.Profile()
+		reg.Start(tm.ID(), tm.Now())
+		for k := 0; k < cfg.Iters; k++ {
+			p.Iterate(cfg.Warmup + k)
+		}
+		reg.End(tm.ID(), tm.Now())
+		end := tm.Profile()
+		profiles[tm.ID()] = tmk.Profile{
+			Fault:   end.Fault - base.Fault,
+			Barrier: end.Barrier - base.Barrier,
+			Lock:    end.Lock - base.Lock,
+			Write:   end.Write - base.Write,
+		}
+		tm.BarrierSilent()
+		if tm.ID() == 0 {
+			reg.Final(sys.Stats())
+			sum = p.Checksum()
+		}
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	res := core.Result{
+		App: app, Version: v, Procs: cfg.Procs,
+		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
+	}
+	for _, pr := range profiles {
+		res.FaultTime += pr.Fault
+		res.SyncTime += pr.Barrier + pr.Lock
+		res.WriteTime += pr.Write
+	}
+	return res, nil
+}
+
+// SPFProgram is a compiler-generated program: IterateMaster is the
+// master's per-iteration main program (built from ParallelDo calls and
+// sequential sections); Checksum runs on the master at the end.
+type SPFProgram struct {
+	IterateMaster func(k int)
+	Checksum      func() float64
+}
+
+// RunSPF measures a fork-join SPF program. Workers sit in the dispatch
+// loop; between a join and the next fork they are blocked, so the
+// master's snapshots cleanly separate warm-up from timed traffic.
+func RunSPF(app string, v core.Version, cfg core.Config, opts spf.Options,
+	setup func(rt *spf.Runtime) SPFProgram) (core.Result, error) {
+	sys := tmk.NewSystem(cfg.Procs, cfg.Costs)
+	reg := core.NewRegion(1)
+	var sum float64
+	err := spf.Run(sys, opts, func(rt *spf.Runtime) {
+		p := setup(rt)
+		if !rt.IsMaster() {
+			rt.Serve()
+			return
+		}
+		for k := 0; k < cfg.Warmup; k++ {
+			p.IterateMaster(k)
+		}
+		reg.Baseline(sys.Stats())
+		reg.Start(0, rt.Now())
+		for k := 0; k < cfg.Iters; k++ {
+			p.IterateMaster(cfg.Warmup + k)
+		}
+		reg.End(0, rt.Now())
+		reg.Final(sys.Stats())
+		sum = p.Checksum()
+		rt.Done()
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Result{
+		App: app, Version: v, Procs: cfg.Procs,
+		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
+	}, nil
+}
+
+// PVMProgram is a hand-coded message-passing program.
+type PVMProgram struct {
+	Iterate  func(k int)
+	Checksum func() float64 // evaluated on task 0; gather untracked data first
+}
+
+// RunPVM measures a PVMe program. Timed-region boundaries use untracked
+// barriers (measurement infrastructure, excluded from Table 2/3 counts).
+func RunPVM(app string, v core.Version, cfg core.Config, setup func(pv *pvm.PVM) PVMProgram) (core.Result, error) {
+	sys := pvm.NewSystem(cfg.Procs, cfg.Costs)
+	reg := core.NewRegion(cfg.Procs)
+	var sum float64
+	err := sys.Run(func(pv *pvm.PVM) {
+		p := setup(pv)
+		for k := 0; k < cfg.Warmup; k++ {
+			p.Iterate(k)
+		}
+		pv.BarrierSilent(1 << 12)
+		if pv.ID() == 0 {
+			reg.Baseline(sys.Stats())
+		}
+		pv.BarrierSilent(1<<12 + 2)
+		reg.Start(pv.ID(), pv.Now())
+		for k := 0; k < cfg.Iters; k++ {
+			p.Iterate(cfg.Warmup + k)
+		}
+		reg.End(pv.ID(), pv.Now())
+		pv.BarrierSilent(1<<12 + 4)
+		if pv.ID() == 0 {
+			reg.Final(sys.Stats())
+		}
+		if p.Checksum != nil {
+			s := p.Checksum()
+			if pv.ID() == 0 {
+				sum = s
+			}
+		}
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Result{
+		App: app, Version: v, Procs: cfg.Procs,
+		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
+	}, nil
+}
+
+// XHPFProgram is a compiler-generated SPMD message-passing program.
+type XHPFProgram struct {
+	Iterate  func(k int)
+	Checksum func() float64
+}
+
+// RunXHPF measures an XHPF program.
+func RunXHPF(app string, cfg core.Config, setup func(x *xhpf.XHPF) XHPFProgram) (core.Result, error) {
+	sys := xhpf.NewSystem(cfg.Procs, cfg.Costs)
+	reg := core.NewRegion(cfg.Procs)
+	var sum float64
+	err := sys.Run(func(x *xhpf.XHPF) {
+		p := setup(x)
+		for k := 0; k < cfg.Warmup; k++ {
+			p.Iterate(k)
+		}
+		x.BoundarySync()
+		if x.ID() == 0 {
+			reg.Baseline(sys.Stats())
+		}
+		x.BoundarySync()
+		reg.Start(x.ID(), x.Now())
+		for k := 0; k < cfg.Iters; k++ {
+			p.Iterate(cfg.Warmup + k)
+		}
+		reg.End(x.ID(), x.Now())
+		x.BoundarySync()
+		if x.ID() == 0 {
+			reg.Final(sys.Stats())
+		}
+		if p.Checksum != nil {
+			s := p.Checksum()
+			if x.ID() == 0 {
+				sum = s
+			}
+		}
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Result{
+		App: app, Version: core.XHPF, Procs: cfg.Procs,
+		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
+	}, nil
+}
+
+// BlockOf returns processor p's block [lo,hi) of extent n under BLOCK
+// distribution (shared by all application partitionings).
+func BlockOf(p, nprocs, n int) (lo, hi int) { return xhpf.BlockOf(p, nprocs, n) }
+
+// Sum64 accumulates a float32 slice in index order into a float64, the
+// checksum convention every version shares.
+func Sum64(xs []float32) float64 {
+	var s float64
+	for _, v := range xs {
+		s += float64(v)
+	}
+	return s
+}
+
+// Cost multiplies an element count by a per-element cost.
+func Cost(n int, per sim.Time) sim.Time { return sim.Time(n) * per }

@@ -1,0 +1,108 @@
+package apputil
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+func TestSum64(t *testing.T) {
+	if got := Sum64([]float32{1, 2, 3.5}); got != 6.5 {
+		t.Errorf("Sum64 = %v, want 6.5", got)
+	}
+	if got := Sum64(nil); got != 0 {
+		t.Errorf("Sum64(nil) = %v, want 0", got)
+	}
+}
+
+func TestCost(t *testing.T) {
+	if got := Cost(1000, 130); got != 130000 {
+		t.Errorf("Cost = %v, want 130000", got)
+	}
+}
+
+func TestBlockOfCoversRange(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 100} {
+		covered := 0
+		prevHi := 0
+		for p := 0; p < 8; p++ {
+			lo, hi := BlockOf(p, 8, n)
+			if lo != prevHi {
+				t.Fatalf("n=%d p=%d: block [%d,%d) not contiguous with previous end %d", n, p, lo, hi, prevHi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != n {
+			t.Fatalf("n=%d: blocks cover %d elements", n, covered)
+		}
+	}
+}
+
+// TestRunTmkMeasurementProtocol verifies the region protocol end to end:
+// warm-up traffic excluded, timed traffic counted, checksum faults not
+// counted.
+func TestRunTmkMeasurementProtocol(t *testing.T) {
+	cfg := core.Config{Procs: 2, Iters: 3, Warmup: 2, Costs: model.SP2(), App: model.DefaultAppCosts()}
+	res, err := RunTmk("probe", core.Tmk, cfg, func(tm *tmk.Tmk) TmkProgram {
+		r := tmk.Alloc[float32](tm, "a", 1024)
+		return TmkProgram{
+			Iterate: func(k int) {
+				if tm.ID() == 0 {
+					w := r.Write(0, 1024)
+					w[k] = float32(k + 1)
+				}
+				tm.Barrier()
+				if tm.ID() == 1 {
+					r.Read(0, 1024) // one fault per iteration
+				}
+				tm.Barrier()
+			},
+			Checksum: func() float64 {
+				g := r.Read(0, 1024)
+				return Sum64(g[:1024])
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timed region: Iters iterations x (2 barriers x 2 msgs + 1 fault x 2 msgs).
+	want := int64(cfg.Iters * (2*2 + 2))
+	if got := res.Stats.TotalMsgs(); got != want {
+		t.Errorf("timed msgs = %d, want %d (warmup and checksum must be excluded)", got, want)
+	}
+	if res.Checksum == 0 {
+		t.Error("checksum not evaluated")
+	}
+	if res.Time <= 0 {
+		t.Error("no elapsed time measured")
+	}
+}
+
+// TestRunSeqChargesOnlyCompute: a sequential run has no traffic and its
+// elapsed time equals the charged compute.
+func TestRunSeqChargesOnlyCompute(t *testing.T) {
+	cfg := core.Config{Procs: 1, Iters: 4, Warmup: 1, Costs: model.SP2(), App: model.DefaultAppCosts()}
+	res, err := RunSeq("probe", cfg, func(tm *tmk.Tmk) SeqProgram {
+		return SeqProgram{
+			Iterate:  func(k int) { tm.Advance(7 * sim.Millisecond) },
+			Checksum: func() float64 { return 42 },
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time != 4*7*sim.Millisecond {
+		t.Errorf("seq time = %v, want 28ms (warmup excluded)", res.Time)
+	}
+	if res.Stats.TotalMsgs() != 0 {
+		t.Errorf("seq run counted %d messages", res.Stats.TotalMsgs())
+	}
+	if res.Checksum != 42 {
+		t.Errorf("checksum = %v", res.Checksum)
+	}
+}

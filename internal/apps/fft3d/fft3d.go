@@ -1,0 +1,581 @@
+// Package fft3d implements the paper's 3-D FFT application (§5.4), the
+// kernel of the NAS FT benchmark: each iteration reinitializes an
+// n1×n2×n3 double-precision complex array, applies an inverse 3-D FFT
+// (1-D FFTs along each dimension), normalizes, and computes a checksum
+// over 1024 sampled elements.
+//
+// The first two FFT dimensions are local under a block partition of the
+// n3 planes (partition A). The n3-point FFTs need a different partition
+// (block on n2 — partition B), so a transpose moves 7/8 of the array
+// across the machine into a separate transposed array. In the
+// shared-memory versions the transpose is implicit — partition-B owners
+// simply fault in the partition-A pages one at a time, which is why the
+// paper measures about 30× more messages than hand-coded message
+// passing and why the §5.4 data-aggregation hand optimization (one
+// request per writer for the whole strided section set) nearly closes
+// the gap (speedup 2.65 → 5.05 vs PVMe's 5.12).
+//
+// Layout: index (i3*n2 + i2)*n1 + i1 in x (i1 contiguous); the
+// transposed array xt holds (i2*n3 + i3)*n1 + i1 so partition-B work is
+// contiguous and local.
+package fft3d
+
+import (
+	"fmt"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/pvm"
+	"repro/internal/sim"
+	"repro/internal/spf"
+	"repro/internal/tmk"
+	"repro/internal/xhpf"
+)
+
+type app struct{}
+
+// New returns the 3-D FFT application.
+func New() core.App { return app{} }
+
+func (app) Name() string { return "3-D FFT" }
+
+func (app) PaperConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 128, N2: 128, N3: 64, Iters: 5, Warmup: 1}
+}
+
+func (app) SmallConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 16, N2: 16, N3: 8, Iters: 2, Warmup: 1}
+}
+
+func (app) Versions() []core.Version {
+	return []core.Version{core.Seq, core.SPF, core.Tmk, core.XHPF, core.PVMe, core.SPFOpt}
+}
+
+func (a app) Run(v core.Version, cfg core.Config) (core.Result, error) {
+	if !fft.Pow2(cfg.N1) || !fft.Pow2(cfg.N2) || !fft.Pow2(cfg.N3) {
+		return core.Result{}, fmt.Errorf("fft3d: dimensions must be powers of two")
+	}
+	switch v {
+	case core.Seq:
+		return runSeq(cfg)
+	case core.Tmk:
+		return runTmk(cfg)
+	case core.SPF:
+		return runSPF(cfg, false)
+	case core.SPFOpt:
+		return runSPF(cfg, true)
+	case core.XHPF:
+		return runXHPF(cfg)
+	case core.PVMe:
+		return runPVM(cfg)
+	}
+	return core.Result{}, fmt.Errorf("fft3d: unsupported version %q", v)
+}
+
+func hash32(x uint32) uint32 {
+	x = x*2654435761 + 104729
+	x ^= x >> 13
+	x *= 2246822519
+	x ^= x >> 16
+	return x
+}
+
+// initValue is the deterministic per-iteration initializer.
+func initValue(i, iter int) complex128 {
+	h1 := hash32(uint32(i*5 + iter*7919))
+	h2 := hash32(uint32(i*11 + iter*104729 + 3))
+	return complex(float64(h1%2048)/2048-0.5, float64(h2%2048)/2048-0.5)
+}
+
+// checksumIndices samples 1024 xt-linear indices, as the NAS kernel sums
+// 1024 elements.
+func checksumIndices(total int) []int {
+	n := 1024
+	if total < 4096 {
+		n = 64
+	}
+	idx := make([]int, n)
+	for k := range idx {
+		idx[k] = (k*131 + 17) % total
+	}
+	return idx
+}
+
+// kernel bundles the per-version compute pieces so every version charges
+// identical virtual costs and performs bitwise-identical arithmetic.
+type kernel struct {
+	cfg     core.Config
+	n1      int
+	n2      int
+	n3      int
+	scratch []complex128
+}
+
+func newKernel(cfg core.Config) *kernel {
+	m := cfg.N2
+	if cfg.N3 > m {
+		m = cfg.N3
+	}
+	return &kernel{cfg: cfg, n1: cfg.N1, n2: cfg.N2, n3: cfg.N3, scratch: make([]complex128, m)}
+}
+
+// initPlanes fills planes [p3lo,p3hi) of x for iteration iter.
+func (kn *kernel) initPlanes(x []complex128, p3lo, p3hi, iter int) int {
+	base := p3lo * kn.n2 * kn.n1
+	end := p3hi * kn.n2 * kn.n1
+	for i := base; i < end; i++ {
+		x[i] = initValue(i, iter)
+	}
+	return end - base
+}
+
+// fft1Planes performs n1-point inverse FFTs on every (i3,i2) pencil of
+// planes [p3lo,p3hi). Returns butterfly count.
+func (kn *kernel) fft1Planes(x []complex128, p3lo, p3hi int) int {
+	b := 0
+	for i3 := p3lo; i3 < p3hi; i3++ {
+		for i2 := 0; i2 < kn.n2; i2++ {
+			off := (i3*kn.n2 + i2) * kn.n1
+			fft.Inverse(x[off : off+kn.n1])
+			b += fft.Butterflies(kn.n1)
+		}
+	}
+	return b
+}
+
+// fft2Planes performs n2-point inverse FFTs along i2 (stride n1) for
+// planes [p3lo,p3hi).
+func (kn *kernel) fft2Planes(x []complex128, p3lo, p3hi int) int {
+	b := 0
+	s := kn.scratch[:kn.n2]
+	for i3 := p3lo; i3 < p3hi; i3++ {
+		plane := i3 * kn.n2 * kn.n1
+		for i1 := 0; i1 < kn.n1; i1++ {
+			for i2 := 0; i2 < kn.n2; i2++ {
+				s[i2] = x[plane+i2*kn.n1+i1]
+			}
+			fft.Inverse(s)
+			for i2 := 0; i2 < kn.n2; i2++ {
+				x[plane+i2*kn.n1+i1] = s[i2]
+			}
+			b += fft.Butterflies(kn.n2)
+		}
+	}
+	return b
+}
+
+// transposeRows copies x into xt layout for i2 rows [b2lo,b2hi): element
+// x[(i3*n2+i2)*n1+i1] → xt[(i2*n3+i3)*n1+i1]. Returns elements moved.
+func (kn *kernel) transposeRows(xt, x []complex128, b2lo, b2hi int) int {
+	moved := 0
+	for i2 := b2lo; i2 < b2hi; i2++ {
+		for i3 := 0; i3 < kn.n3; i3++ {
+			src := (i3*kn.n2 + i2) * kn.n1
+			dst := (i2*kn.n3 + i3) * kn.n1
+			copy(xt[dst:dst+kn.n1], x[src:src+kn.n1])
+			moved += kn.n1
+		}
+	}
+	return moved
+}
+
+// fft3Rows performs n3-point inverse FFTs (stride n1 in xt) for i2 rows
+// [b2lo,b2hi).
+func (kn *kernel) fft3Rows(xt []complex128, b2lo, b2hi int) int {
+	b := 0
+	s := kn.scratch[:kn.n3]
+	for i2 := b2lo; i2 < b2hi; i2++ {
+		row := i2 * kn.n3 * kn.n1
+		for i1 := 0; i1 < kn.n1; i1++ {
+			for i3 := 0; i3 < kn.n3; i3++ {
+				s[i3] = xt[row+i3*kn.n1+i1]
+			}
+			fft.Inverse(s)
+			for i3 := 0; i3 < kn.n3; i3++ {
+				xt[row+i3*kn.n1+i1] = s[i3]
+			}
+			b += fft.Butterflies(kn.n3)
+		}
+	}
+	return b
+}
+
+// normalizeRows scales xt rows [b2lo,b2hi) by 1/(n1*n2*n3).
+func (kn *kernel) normalizeRows(xt []complex128, b2lo, b2hi int) int {
+	inv := complex(1/float64(kn.n1*kn.n2*kn.n3), 0)
+	lo := b2lo * kn.n3 * kn.n1
+	hi := b2hi * kn.n3 * kn.n1
+	for i := lo; i < hi; i++ {
+		xt[i] *= inv
+	}
+	return hi - lo
+}
+
+// checksumRows sums the sampled elements owned by rows [b2lo,b2hi).
+func (kn *kernel) checksumRows(xt []complex128, idx []int, b2lo, b2hi int) (complex128, int) {
+	lo := b2lo * kn.n3 * kn.n1
+	hi := b2hi * kn.n3 * kn.n1
+	var s complex128
+	touched := 0
+	for _, i := range idx {
+		if i >= lo && i < hi {
+			s += xt[i]
+			touched++
+		}
+	}
+	return s, touched
+}
+
+// chargeFFT converts butterfly and touch counts into virtual time.
+func chargeFFT(adv func(sim.Time), cfg core.Config, butterflies, touches int) {
+	adv(apputil.Cost(butterflies, cfg.App.FFTButterfly) + apputil.Cost(touches, cfg.App.FFTTouch))
+}
+
+func sumComplex(s complex128) float64 { return real(s) + 2*imag(s) }
+
+func runSeq(cfg core.Config) (core.Result, error) {
+	kn := newKernel(cfg)
+	total := kn.n1 * kn.n2 * kn.n3
+	idx := checksumIndices(total)
+	return apputil.RunSeq("3-D FFT", cfg, func(tm *tmk.Tmk) apputil.SeqProgram {
+		x := make([]complex128, total)
+		xt := make([]complex128, total)
+		var sum complex128
+		return apputil.SeqProgram{
+			Iterate: func(k int) {
+				touches := kn.initPlanes(x, 0, kn.n3, k)
+				b := kn.fft1Planes(x, 0, kn.n3)
+				b += kn.fft2Planes(x, 0, kn.n3)
+				touches += kn.transposeRows(xt, x, 0, kn.n2)
+				b += kn.fft3Rows(xt, 0, kn.n2)
+				touches += kn.normalizeRows(xt, 0, kn.n2)
+				s, t := kn.checksumRows(xt, idx, 0, kn.n2)
+				sum = s
+				touches += t
+				chargeFFT(tm.Advance, cfg, b, touches)
+			},
+			Checksum: func() float64 { return sumComplex(sum) },
+		}
+	})
+}
+
+// runTmk is the hand-coded TreadMarks version: two shared arrays, two
+// barriers per iteration (between the partition-A and partition-B
+// phases, and at end of iteration after the checksum). The transpose is
+// implicit: partition-B owners fault in the partition-A pages they read.
+func runTmk(cfg core.Config) (core.Result, error) {
+	kn := newKernel(cfg)
+	total := kn.n1 * kn.n2 * kn.n3
+	idx := checksumIndices(total)
+	return apputil.RunTmk("3-D FFT", core.Tmk, cfg, func(tm *tmk.Tmk) apputil.TmkProgram {
+		me, nprocs := tm.ID(), tm.NProcs()
+		x := tmk.Alloc[complex128](tm, "x", total)
+		xt := tmk.Alloc[complex128](tm, "xt", total)
+		partial := tmk.Alloc[float64](tm, "csum", 8)
+		p3lo, p3hi := apputil.BlockOf(me, nprocs, kn.n3)
+		b2lo, b2hi := apputil.BlockOf(me, nprocs, kn.n2)
+		var sum complex128
+		return apputil.TmkProgram{
+			Iterate: func(k int) {
+				if me == 0 {
+					// Reset the checksum accumulator; the previous
+					// iteration's adds are ordered before this write by the
+					// end-of-iteration barrier.
+					w := partial.Write(0, 2)
+					w[0], w[1] = 0, 0
+				}
+				wx := x.Write(p3lo*kn.n2*kn.n1, p3hi*kn.n2*kn.n1)
+				touches := kn.initPlanes(wx, p3lo, p3hi, k)
+				b := kn.fft1Planes(wx, p3lo, p3hi)
+				b += kn.fft2Planes(wx, p3lo, p3hi)
+				tm.Barrier() // partition A done; partition B may read
+				// Implicit transpose: fault the needed x sections page by
+				// page while copying into the local xt rows.
+				rx := readTransposeSections(x, kn, b2lo, b2hi, false)
+				wxt := xt.Write(b2lo*kn.n3*kn.n1, b2hi*kn.n3*kn.n1)
+				touches += kn.transposeRows(wxt, rx, b2lo, b2hi)
+				b += kn.fft3Rows(wxt, b2lo, b2hi)
+				touches += kn.normalizeRows(wxt, b2lo, b2hi)
+				s, t := kn.checksumRows(wxt, idx, b2lo, b2hi)
+				touches += t
+				tm.AcquireLock(3)
+				w := partial.Write(0, 2)
+				w[0] += real(s)
+				w[1] += imag(s)
+				tm.ReleaseLock(3)
+				chargeFFT(tm.Advance, cfg, b, touches)
+				tm.Barrier() // end of iteration, after the checksum
+				if me == 0 {
+					g := partial.Read(0, 2)
+					sum = complex(g[0], g[1])
+				}
+			},
+			Checksum: func() float64 { return sumComplex(sum) },
+		}
+	})
+}
+
+// readTransposeSections validates (and thereby fetches) the x sections a
+// partition-B owner reads: for every plane, the i2 rows [b2lo,b2hi).
+// aggregated selects the §5.4 enhanced-interface optimization.
+func readTransposeSections(x *tmk.Region[complex128], kn *kernel, b2lo, b2hi int, aggregated bool) []complex128 {
+	if aggregated {
+		ranges := make([][2]int, 0, kn.n3)
+		for i3 := 0; i3 < kn.n3; i3++ {
+			lo := (i3*kn.n2 + b2lo) * kn.n1
+			hi := (i3*kn.n2 + b2hi) * kn.n1
+			ranges = append(ranges, [2]int{lo, hi})
+		}
+		return x.ReadAggregatedRanges(ranges)
+	}
+	var out []complex128
+	for i3 := 0; i3 < kn.n3; i3++ {
+		lo := (i3*kn.n2 + b2lo) * kn.n1
+		hi := (i3*kn.n2 + b2hi) * kn.n1
+		out = x.Read(lo, hi)
+	}
+	return out
+}
+
+// runSPF is the compiler-generated version: six parallel loops per
+// iteration (init, three FFT dimensions, normalize, checksum), each a
+// fork-join dispatch; the checksum is a lock-based reduction pair.
+// aggregated selects the §5.4 hand optimization.
+func runSPF(cfg core.Config, aggregated bool) (core.Result, error) {
+	kn := newKernel(cfg)
+	total := kn.n1 * kn.n2 * kn.n3
+	idx := checksumIndices(total)
+	v := core.SPF
+	if aggregated {
+		v = core.SPFOpt
+	}
+	return apputil.RunSPF("3-D FFT", v, cfg, spf.Options{}, func(rt *spf.Runtime) apputil.SPFProgram {
+		tm := rt.Tmk()
+		x := tmk.Alloc[complex128](tm, "x", total)
+		xt := tmk.Alloc[complex128](tm, "xt", total)
+		reSum := spf.NewReduction(rt, "re")
+		imSum := spf.NewReduction(rt, "im")
+		add := func(a, b float64) float64 { return a + b }
+
+		initLoop := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			w := x.Write(lo*kn.n2*kn.n1, hi*kn.n2*kn.n1)
+			t := kn.initPlanes(w, lo, hi, int(args[0]))
+			chargeFFT(rt.Advance, cfg, 0, t)
+		})
+		fft1Loop := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			w := x.Write(lo*kn.n2*kn.n1, hi*kn.n2*kn.n1)
+			chargeFFT(rt.Advance, cfg, kn.fft1Planes(w, lo, hi), 0)
+		})
+		fft2Loop := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			w := x.Write(lo*kn.n2*kn.n1, hi*kn.n2*kn.n1)
+			chargeFFT(rt.Advance, cfg, kn.fft2Planes(w, lo, hi), 0)
+		})
+		fft3Loop := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			rx := readTransposeSections(x, kn, lo, hi, aggregated)
+			w := xt.Write(lo*kn.n3*kn.n1, hi*kn.n3*kn.n1)
+			t := kn.transposeRows(w, rx, lo, hi)
+			chargeFFT(rt.Advance, cfg, kn.fft3Rows(w, lo, hi), t)
+		})
+		normLoop := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			w := xt.Write(lo*kn.n3*kn.n1, hi*kn.n3*kn.n1)
+			chargeFFT(rt.Advance, cfg, 0, kn.normalizeRows(w, lo, hi))
+		})
+		csumLoop := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			g := xt.Read(lo*kn.n3*kn.n1, hi*kn.n3*kn.n1)
+			s, t := kn.checksumRows(g, idx, lo, hi)
+			chargeFFT(rt.Advance, cfg, 0, t)
+			reSum.Combine(rt, real(s), add)
+			imSum.Combine(rt, imag(s), add)
+		})
+		return apputil.SPFProgram{
+			IterateMaster: func(k int) {
+				rt.ParallelDo(initLoop, 0, kn.n3, spf.Block, int64(k))
+				rt.ParallelDo(fft1Loop, 0, kn.n3, spf.Block)
+				rt.ParallelDo(fft2Loop, 0, kn.n3, spf.Block)
+				rt.ParallelDo(fft3Loop, 0, kn.n2, spf.Block)
+				rt.ParallelDo(normLoop, 0, kn.n2, spf.Block)
+				reSum.Reset(0)
+				imSum.Reset(0)
+				rt.ParallelDo(csumLoop, 0, kn.n2, spf.Block)
+			},
+			Checksum: func() float64 {
+				return sumComplex(complex(reSum.Value(), imSum.Value()))
+			},
+		}
+	})
+}
+
+// runXHPF is the compiler-generated message-passing version: the
+// transpose is generated as unaggregated section sends — one message per
+// (plane, i2-row) — which is the paper's ~30× message blow-up relative
+// to hand-coded message passing, plus a sync per parallel loop.
+func runXHPF(cfg core.Config) (core.Result, error) {
+	kn := newKernel(cfg)
+	total := kn.n1 * kn.n2 * kn.n3
+	idx := checksumIndices(total)
+	return apputil.RunXHPF("3-D FFT", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+		me, nprocs := x.ID(), x.NProcs()
+		xs := make([]complex128, total)
+		xt := make([]complex128, total)
+		p3lo, p3hi := apputil.BlockOf(me, nprocs, kn.n3)
+		b2lo, b2hi := apputil.BlockOf(me, nprocs, kn.n2)
+		var sum complex128
+		return apputil.XHPFProgram{
+			Iterate: func(k int) {
+				touches := kn.initPlanes(xs, p3lo, p3hi, k)
+				x.LoopSync()
+				b := kn.fft1Planes(xs, p3lo, p3hi)
+				x.LoopSync()
+				b += kn.fft2Planes(xs, p3lo, p3hi)
+				x.LoopSync()
+				// Generated transpose: per-destination per-plane per-row
+				// sections.
+				sectionsFor := func(q int) [][]complex128 {
+					qlo, qhi := apputil.BlockOf(q, nprocs, kn.n2)
+					var secs [][]complex128
+					for i3 := p3lo; i3 < p3hi; i3++ {
+						for i2 := qlo; i2 < qhi; i2++ {
+							off := (i3*kn.n2 + i2) * kn.n1
+							secs = append(secs, xs[off:off+kn.n1])
+						}
+					}
+					return secs
+				}
+				placeFor := func(q int) [][]complex128 {
+					qlo, qhi := apputil.BlockOf(q, nprocs, kn.n3)
+					var secs [][]complex128
+					for i3 := qlo; i3 < qhi; i3++ {
+						for i2 := b2lo; i2 < b2hi; i2++ {
+							dst := (i2*kn.n3 + i3) * kn.n1
+							secs = append(secs, xt[dst:dst+kn.n1])
+						}
+					}
+					return secs
+				}
+				xhpf.SectionAllToAll(x, kn.n1, 16, sectionsFor, placeFor)
+				// Local part of the transpose.
+				for i3 := p3lo; i3 < p3hi; i3++ {
+					for i2 := b2lo; i2 < b2hi; i2++ {
+						src := (i3*kn.n2 + i2) * kn.n1
+						dst := (i2*kn.n3 + i3) * kn.n1
+						copy(xt[dst:dst+kn.n1], xs[src:src+kn.n1])
+						touches += kn.n1
+					}
+				}
+				b += kn.fft3Rows(xt, b2lo, b2hi)
+				x.LoopSync()
+				touches += kn.normalizeRows(xt, b2lo, b2hi)
+				x.LoopSync()
+				s, t := kn.checksumRows(xt, idx, b2lo, b2hi)
+				touches += t
+				parts := xhpf.AllReduceSum(x, []float64{real(s), imag(s)})
+				sum = complex(parts[0], parts[1])
+				x.LoopSync()
+				chargeFFT(x.Advance, cfg, b, touches)
+			},
+			Checksum: func() float64 {
+				if me != 0 {
+					return 0
+				}
+				return sumComplex(sum)
+			},
+		}
+	})
+}
+
+// runPVM is the hand-coded message-passing version: the transpose is a
+// fully aggregated all-to-all — one packed message per destination.
+func runPVM(cfg core.Config) (core.Result, error) {
+	kn := newKernel(cfg)
+	total := kn.n1 * kn.n2 * kn.n3
+	idx := checksumIndices(total)
+	return apputil.RunPVM("3-D FFT", core.PVMe, cfg, func(pv *pvm.PVM) apputil.PVMProgram {
+		me, nprocs := pv.ID(), pv.NProcs()
+		xs := make([]complex128, total)
+		xt := make([]complex128, total)
+		p3lo, p3hi := apputil.BlockOf(me, nprocs, kn.n3)
+		b2lo, b2hi := apputil.BlockOf(me, nprocs, kn.n2)
+		var sum complex128
+		return apputil.PVMProgram{
+			Iterate: func(k int) {
+				touches := kn.initPlanes(xs, p3lo, p3hi, k)
+				b := kn.fft1Planes(xs, p3lo, p3hi)
+				b += kn.fft2Planes(xs, p3lo, p3hi)
+				// Aggregated all-to-all: one packed message per peer.
+				for q := 0; q < nprocs; q++ {
+					if q == me {
+						continue
+					}
+					qlo, qhi := apputil.BlockOf(q, nprocs, kn.n2)
+					buf := make([]complex128, 0, (p3hi-p3lo)*(qhi-qlo)*kn.n1)
+					for i3 := p3lo; i3 < p3hi; i3++ {
+						for i2 := qlo; i2 < qhi; i2++ {
+							off := (i3*kn.n2 + i2) * kn.n1
+							buf = append(buf, xs[off:off+kn.n1]...)
+						}
+					}
+					pvm.Send(pv, q, 600, buf)
+				}
+				for q := 0; q < nprocs; q++ {
+					if q == me {
+						continue
+					}
+					qlo, qhi := apputil.BlockOf(q, nprocs, kn.n3)
+					buf := make([]complex128, (qhi-qlo)*(b2hi-b2lo)*kn.n1)
+					pvm.Recv(pv, q, 600, buf)
+					at := 0
+					for i3 := qlo; i3 < qhi; i3++ {
+						for i2 := b2lo; i2 < b2hi; i2++ {
+							dst := (i2*kn.n3 + i3) * kn.n1
+							copy(xt[dst:dst+kn.n1], buf[at:at+kn.n1])
+							at += kn.n1
+							touches += kn.n1
+						}
+					}
+				}
+				for i3 := p3lo; i3 < p3hi; i3++ {
+					for i2 := b2lo; i2 < b2hi; i2++ {
+						src := (i3*kn.n2 + i2) * kn.n1
+						dst := (i2*kn.n3 + i3) * kn.n1
+						copy(xt[dst:dst+kn.n1], xs[src:src+kn.n1])
+						touches += kn.n1
+					}
+				}
+				b += kn.fft3Rows(xt, b2lo, b2hi)
+				touches += kn.normalizeRows(xt, b2lo, b2hi)
+				s, t := kn.checksumRows(xt, idx, b2lo, b2hi)
+				touches += t
+				parts := pvm.ReduceSum(pv, 0, 610, []float64{real(s), imag(s)})
+				if me == 0 {
+					sum = complex(parts[0], parts[1])
+				}
+				chargeFFT(pv.Advance, cfg, b, touches)
+			},
+			Checksum: func() float64 {
+				if me != 0 {
+					return 0
+				}
+				return sumComplex(sum)
+			},
+		}
+	})
+}

@@ -1,0 +1,422 @@
+// Package igrid implements the paper's IGrid application (§6.1): a
+// 9-point relaxation stencil whose neighbors are accessed *indirectly*
+// through a mapping established at run time, defeating compile-time
+// analysis. The map happens to encode the ordinary stencil, so the
+// run-time locality is excellent — the DSM system discovers it on
+// demand (fetch-on-fault plus caching), while the XHPF compiler must
+// fall back to broadcasting each processor's whole block after every
+// step (Table 3's thousand-fold data blow-up).
+//
+// The old array starts at all ones with two spikes (middle and lower
+// right); each step computes every interior point from its nine old
+// neighbors and the arrays switch. Changes spread outward from the
+// spikes only, so TreadMarks diffs stay tiny. The program ends by
+// finding the maximum, minimum and sum of the central 40×40 square,
+// recognized as reductions.
+package igrid
+
+import (
+	"fmt"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/pvm"
+	"repro/internal/spf"
+	"repro/internal/tmk"
+	"repro/internal/xhpf"
+)
+
+type app struct{}
+
+// New returns the IGrid application.
+func New() core.App { return app{} }
+
+func (app) Name() string { return "IGrid" }
+
+func (app) PaperConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 500, Iters: 19, Warmup: 1}
+}
+
+func (app) SmallConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 60, Iters: 5, Warmup: 1}
+}
+
+func (app) Versions() []core.Version {
+	return []core.Version{core.Seq, core.SPF, core.Tmk, core.XHPF, core.PVMe}
+}
+
+func (a app) Run(v core.Version, cfg core.Config) (core.Result, error) {
+	switch v {
+	case core.Seq:
+		return runSeq(cfg)
+	case core.Tmk:
+		return runTmk(cfg)
+	case core.SPF:
+		return runSPF(cfg)
+	case core.XHPF:
+		return runXHPF(cfg)
+	case core.PVMe:
+		return runPVM(cfg)
+	}
+	return core.Result{}, fmt.Errorf("igrid: unsupported version %q", v)
+}
+
+// buildMap constructs the run-time indirection array: for every interior
+// cell, the indices of its nine neighbors (including itself). The
+// compiler sees only idx[9*c+k]; the locality is invisible statically.
+func buildMap(n int) []int32 {
+	idx := make([]int32, 9*n*n)
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			c := i*n + j
+			k := 0
+			for di := -1; di <= 1; di++ {
+				for dj := -1; dj <= 1; dj++ {
+					idx[9*c+k] = int32((i+di)*n + (j + dj))
+					k++
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func initOld(g []float32, n int) {
+	for i := range g[:n*n] {
+		g[i] = 1
+	}
+	g[(n/2)*n+n/2] += 500       // middle spike
+	g[(n-n/8)*n+(n-n/8)] += 300 // lower-right spike
+}
+
+// relaxRows applies one relaxation step to interior rows [rlo,rhi).
+func relaxRows(dst, src []float32, idx []int32, n, rlo, rhi int) {
+	for i := rlo; i < rhi; i++ {
+		for j := 1; j < n-1; j++ {
+			c := i*n + j
+			var s float32
+			for k := 0; k < 9; k++ {
+				s += src[idx[9*c+k]]
+			}
+			dst[c] = s / 9
+		}
+	}
+}
+
+// center returns the bounds of the reduction square (40×40 at paper
+// size, scaled down for small grids).
+func center(n int) (lo, hi int) {
+	side := 40
+	if n < 100 {
+		side = n / 8
+	}
+	lo = n/2 - side/2
+	return lo, lo + side
+}
+
+// reduceRows accumulates max/min/sum over the center square rows
+// [rlo,rhi) ∩ [clo,chi).
+func reduceRows(g []float32, n, rlo, rhi int) (mx, mn float32, sum float64, cells int) {
+	clo, chi := center(n)
+	mx, mn = -1e30, 1e30
+	for i := max(rlo, clo); i < min(rhi, chi); i++ {
+		for j := clo; j < chi; j++ {
+			v := g[i*n+j]
+			if v > mx {
+				mx = v
+			}
+			if v < mn {
+				mn = v
+			}
+			sum += float64(v)
+			cells++
+		}
+	}
+	return mx, mn, sum, cells
+}
+
+// sealed folds the reduction results into the checksum: max and min are
+// order-independent and exact; the protocol sum is validated to be
+// finite but not folded bitwise (summation order differs across
+// versions).
+func sealed(mx, mn float32) float64 {
+	return float64(mx)*1e3 + float64(mn)
+}
+
+func runSeq(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	total := cfg.Warmup + cfg.Iters
+	return apputil.RunSeq("IGrid", cfg, func(tm *tmk.Tmk) apputil.SeqProgram {
+		old := make([]float32, n*n)
+		cur := make([]float32, n*n)
+		idx := buildMap(n)
+		initOld(old, n)
+		copy(cur, old)
+		var redSum float64
+		return apputil.SeqProgram{
+			Iterate: func(k int) {
+				relaxRows(cur, old, idx, n, 1, n-1)
+				tm.Advance(apputil.Cost((n-2)*(n-2), cfg.App.IGridUpdate))
+				old, cur = cur, old
+				if k == total-1 {
+					_, _, s, cells := reduceRows(old, n, 0, n)
+					redSum = s
+					tm.Advance(apputil.Cost(cells, cfg.App.IGridReduce))
+				}
+			},
+			Checksum: func() float64 {
+				mx, mn, _, _ := reduceRows(old, n, 0, n)
+				_ = redSum
+				return sealed(mx, mn) + apputil.Sum64(old)
+			},
+		}
+	})
+}
+
+func runTmk(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	total := cfg.Warmup + cfg.Iters
+	return apputil.RunTmk("IGrid", core.Tmk, cfg, func(tm *tmk.Tmk) apputil.TmkProgram {
+		a := tmk.Alloc[float32](tm, "a", n*n)
+		b := tmk.Alloc[float32](tm, "b", n*n)
+		red := tmk.Alloc[float64](tm, "red", 8) // max, min, sum (one page)
+		idx := buildMap(n)                      // private: the map is read-only
+		me, nprocs := tm.ID(), tm.NProcs()
+		rlo, rhi := apputil.BlockOf(me, nprocs, n-2)
+		rlo, rhi = rlo+1, rhi+1
+		if me == 0 {
+			w := a.Write(0, n*n)
+			initOld(w, n)
+			wb := b.Write(0, n*n)
+			copy(wb[:n*n], w[:n*n])
+			r := red.Write(0, 3)
+			r[0], r[1], r[2] = -1e30, 1e30, 0
+		}
+		tm.Barrier()
+		old, cur := a, b
+		return apputil.TmkProgram{
+			Iterate: func(k int) {
+				if rhi > rlo {
+					// Demand paging over the touched range: only invalid
+					// pages are fetched.
+					src := old.Read((rlo-1)*n, (rhi+1)*n)
+					dst := cur.Write(rlo*n, rhi*n)
+					relaxRows(dst, src, idx, n, rlo, rhi)
+					tm.Advance(apputil.Cost((rhi-rlo)*(n-2), cfg.App.IGridUpdate))
+				}
+				tm.Barrier()
+				old, cur = cur, old
+				if k == total-1 {
+					g := old.Read(rlo*n, rhi*n)
+					mx, mn, s, cells := reduceRows(g, n, rlo, rhi)
+					tm.Advance(apputil.Cost(cells, cfg.App.IGridReduce))
+					if cells > 0 {
+						tm.AcquireLock(7)
+						r := red.Write(0, 3)
+						if float64(mx) > r[0] {
+							r[0] = float64(mx)
+						}
+						if float64(mn) < r[1] {
+							r[1] = float64(mn)
+						}
+						r[2] += s
+						tm.ReleaseLock(7)
+					}
+					tm.Barrier()
+				}
+			},
+			Checksum: func() float64 {
+				r := red.Read(0, 3)
+				g := old.Read(0, n*n)
+				return float64(float32(r[0]))*1e3 + float64(float32(r[1])) + apputil.Sum64(g[:n*n])
+			},
+		}
+	})
+}
+
+// runSPF is the compiler-generated shared-memory version. Fortran
+// cannot swap array identities, so where the hand-coded versions switch
+// old and new pointers, the SPF-generated program runs a second parallel
+// loop that copies the new array back into the old one — doubling the
+// per-iteration fork-joins and the write-notice traffic (the paper's
+// SPF IGrid shows ~3x the hand-coded Tmk message count).
+func runSPF(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	total := cfg.Warmup + cfg.Iters
+	return apputil.RunSPF("IGrid", core.SPF, cfg, spf.Options{}, func(rt *spf.Runtime) apputil.SPFProgram {
+		tm := rt.Tmk()
+		oldArr := tmk.Alloc[float32](tm, "old", n*n)
+		newArr := tmk.Alloc[float32](tm, "new", n*n)
+		idx := buildMap(n)
+		maxRed := spf.NewReduction(rt, "max")
+		minRed := spf.NewReduction(rt, "min")
+		sumRed := spf.NewReduction(rt, "sum")
+		relax := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			src := oldArr.Read((lo-1)*n, (hi+1)*n)
+			dst := newArr.Write(lo*n, hi*n)
+			relaxRows(dst, src, idx, n, lo, hi)
+			rt.Advance(apputil.Cost((hi-lo)*(n-2), cfg.App.IGridUpdate))
+		})
+		copyBack := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			src := newArr.Read(lo*n, hi*n)
+			dst := oldArr.Write(lo*n, hi*n)
+			copy(dst[lo*n:hi*n], src[lo*n:hi*n])
+			rt.Advance(apputil.Cost((hi-lo)*n, cfg.App.IGridReduce))
+		})
+		reduce := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			g := oldArr.Read(lo*n, hi*n)
+			mx, mn, s, cells := reduceRows(g, n, lo, hi)
+			rt.Advance(apputil.Cost(cells, cfg.App.IGridReduce))
+			if cells > 0 {
+				maxRed.Combine(rt, float64(mx), func(x, y float64) float64 { return max(x, y) })
+				minRed.Combine(rt, float64(mn), func(x, y float64) float64 { return min(x, y) })
+				sumRed.Combine(rt, s, func(x, y float64) float64 { return x + y })
+			}
+		})
+		if rt.IsMaster() {
+			w := oldArr.Write(0, n*n)
+			initOld(w, n)
+			wb := newArr.Write(0, n*n)
+			copy(wb[:n*n], w[:n*n])
+		}
+		return apputil.SPFProgram{
+			IterateMaster: func(k int) {
+				rt.ParallelDo(relax, 1, n-1, spf.Block)
+				rt.ParallelDo(copyBack, 1, n-1, spf.Block)
+				if k == total-1 {
+					maxRed.Reset(-1e30)
+					minRed.Reset(1e30)
+					sumRed.Reset(0)
+					rt.ParallelDo(reduce, 0, n, spf.Block)
+				}
+			},
+			Checksum: func() float64 {
+				g := oldArr.Read(0, n*n)
+				return float64(float32(maxRed.Value()))*1e3 + float64(float32(minRed.Value())) + apputil.Sum64(g[:n*n])
+			},
+		}
+	})
+}
+
+func runXHPF(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	total := cfg.Warmup + cfg.Iters
+	return apputil.RunXHPF("IGrid", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+		old := make([]float32, n*n)
+		cur := make([]float32, n*n)
+		idx := buildMap(n)
+		initOld(old, n)
+		copy(cur, old)
+		me := x.ID()
+		rlo, rhi := apputil.BlockOf(me, x.NProcs(), n-2)
+		rlo, rhi = rlo+1, rhi+1
+		var redVals []float64
+		return apputil.XHPFProgram{
+			Iterate: func(k int) {
+				if rhi > rlo {
+					relaxRows(cur, old, idx, n, rlo, rhi)
+					x.Advance(apputil.Cost((rhi-rlo)*(n-2), cfg.App.IGridUpdate))
+				}
+				// Unknown access pattern: broadcast the whole block.
+				xhpf.BroadcastBlocks(x, cur, func(q int) (int, int) {
+					qlo, qhi := apputil.BlockOf(q, x.NProcs(), n-2)
+					return (qlo + 1) * n, (qhi + 1) * n
+				}, 4)
+				x.LoopSync()
+				old, cur = cur, old
+				if k == total-1 {
+					mx, mn, s, cells := reduceRows(old, n, rlo, rhi)
+					x.Advance(apputil.Cost(cells, cfg.App.IGridReduce))
+					sums := xhpf.AllReduceSum(x, []float64{s})
+					maxs := xhpf.AllReduceWith(x, []float64{float64(mx)}, func(a, b float64) float64 { return max(a, b) })
+					mins := xhpf.AllReduceWith(x, []float64{float64(mn)}, func(a, b float64) float64 { return min(a, b) })
+					redVals = []float64{maxs[0], mins[0], sums[0]}
+				}
+			},
+			Checksum: func() float64 {
+				if me != 0 {
+					return 0
+				}
+				return sealed(float32(redVals[0]), float32(redVals[1])) + apputil.Sum64(old)
+			},
+		}
+	})
+}
+
+func runPVM(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	total := cfg.Warmup + cfg.Iters
+	return apputil.RunPVM("IGrid", core.PVMe, cfg, func(pv *pvm.PVM) apputil.PVMProgram {
+		old := make([]float32, n*n)
+		cur := make([]float32, n*n)
+		idx := buildMap(n)
+		initOld(old, n)
+		copy(cur, old)
+		me, nprocs := pv.ID(), pv.NProcs()
+		rlo, rhi := apputil.BlockOf(me, nprocs, n-2)
+		rlo, rhi = rlo+1, rhi+1
+		var redVals []float64
+		return apputil.PVMProgram{
+			Iterate: func(k int) {
+				// The hand coder inspected the map once at setup and knows
+				// only boundary rows cross processors.
+				if me > 0 {
+					pvm.Send(pv, me-1, 80, old[rlo*n:(rlo+1)*n])
+				}
+				if me < nprocs-1 {
+					pvm.Send(pv, me+1, 81, old[(rhi-1)*n:rhi*n])
+				}
+				if me > 0 {
+					pvm.Recv(pv, me-1, 81, old[(rlo-1)*n:rlo*n])
+				}
+				if me < nprocs-1 {
+					pvm.Recv(pv, me+1, 80, old[rhi*n:(rhi+1)*n])
+				}
+				if rhi > rlo {
+					relaxRows(cur, old, idx, n, rlo, rhi)
+					pv.Advance(apputil.Cost((rhi-rlo)*(n-2), cfg.App.IGridUpdate))
+				}
+				old, cur = cur, old
+				if k == total-1 {
+					mx, mn, s, cells := reduceRows(old, n, rlo, rhi)
+					pv.Advance(apputil.Cost(cells, cfg.App.IGridReduce))
+					sums := pvm.ReduceSum(pv, 0, 85, []float64{s})
+					maxs := pvm.Reduce(pv, 0, 87, []float64{float64(mx)}, func(a, b float64) float64 { return max(a, b) })
+					mins := pvm.Reduce(pv, 0, 89, []float64{float64(mn)}, func(a, b float64) float64 { return min(a, b) })
+					redVals = []float64{maxs[0], mins[0], sums[0]}
+				}
+			},
+			Checksum: func() float64 {
+				gatherInterior(pv, old, n)
+				if me != 0 {
+					return 0
+				}
+				return sealed(float32(redVals[0]), float32(redVals[1])) + apputil.Sum64(old)
+			},
+		}
+	})
+}
+
+// gatherInterior collects interior row blocks on task 0, untracked.
+func gatherInterior(pv *pvm.PVM, g []float32, n int) {
+	me, nprocs := pv.ID(), pv.NProcs()
+	if me == 0 {
+		for q := 1; q < nprocs; q++ {
+			qlo, qhi := apputil.BlockOf(q, nprocs, n-2)
+			if qhi > qlo {
+				pvm.RecvUntracked(pv, q, 95, g[(qlo+1)*n:(qhi+1)*n])
+			}
+		}
+		return
+	}
+	rlo, rhi := apputil.BlockOf(me, nprocs, n-2)
+	if rhi > rlo {
+		pvm.SendUntracked(pv, 0, 95, g[(rlo+1)*n:(rhi+1)*n])
+	}
+}

@@ -1,0 +1,355 @@
+// Package jacobi implements the paper's Jacobi application (§5.1): an
+// iterative 4-point-stencil solver on an N×N single-precision grid, in
+// all the paper's versions.
+//
+// The grid's edges are fixed at one and the interior starts at zero, so
+// values propagate inward from the edges — which is why the TreadMarks
+// versions move so little data (Table 2): diffs carry only the bytes
+// that actually changed.
+//
+// Each iteration has two phases: the stencil update into a scratch
+// array, and the copy back. Both loops are parallel; the shared-memory
+// versions need a barrier between the phases to respect the
+// anti-dependence, and one at the end of the iteration.
+//
+// Orientation: the paper's Fortran arrays are column-major and
+// partitioned by columns, exchanging boundary columns; this Go port is
+// row-major and partitioned by rows, exchanging boundary rows. The
+// contiguity structure — a 2048-element single-precision boundary
+// spanning two 4 KB pages — is identical.
+package jacobi
+
+import (
+	"fmt"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/pvm"
+	"repro/internal/spf"
+	"repro/internal/tmk"
+	"repro/internal/xhpf"
+)
+
+// app implements core.App.
+type app struct{}
+
+// New returns the Jacobi application.
+func New() core.App { return app{} }
+
+func (app) Name() string { return "Jacobi" }
+
+func (app) PaperConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 2048, Iters: 100, Warmup: 1}
+}
+
+func (app) SmallConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 64, Iters: 4, Warmup: 1}
+}
+
+func (app) Versions() []core.Version {
+	return []core.Version{core.Seq, core.SPF, core.Tmk, core.XHPF, core.PVMe, core.SPFOpt, core.SPFOld, core.TmkPush}
+}
+
+func (a app) Run(v core.Version, cfg core.Config) (core.Result, error) {
+	switch v {
+	case core.Seq:
+		return runSeq(cfg)
+	case core.Tmk:
+		return runTmk(cfg, false)
+	case core.TmkPush:
+		return runTmk(cfg, true)
+	case core.SPF:
+		return runSPF(cfg, spf.Options{}, false)
+	case core.SPFOld:
+		return runSPF(cfg, spf.Options{Old: true}, false)
+	case core.SPFOpt:
+		return runSPF(cfg, spf.Options{}, true)
+	case core.XHPF:
+		return runXHPF(cfg)
+	case core.PVMe:
+		return runPVM(cfg)
+	}
+	return core.Result{}, fmt.Errorf("jacobi: unsupported version %q", v)
+}
+
+// initGrid sets edges to one and the interior to zero.
+func initGrid(g []float32, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == 0 || j == 0 || i == n-1 || j == n-1 {
+				g[i*n+j] = 1
+			} else {
+				g[i*n+j] = 0
+			}
+		}
+	}
+}
+
+// stencilRows computes the 4-point stencil for rows [rlo,rhi) of src
+// into dst (interior columns only). dstOff is subtracted from the row
+// index when storing (for private scratch arrays that hold only a band).
+func stencilRows(dst, src []float32, n, rlo, rhi, dstOff int) {
+	for i := rlo; i < rhi; i++ {
+		d := (i - dstOff) * n
+		s := i * n
+		for j := 1; j < n-1; j++ {
+			dst[d+j] = 0.25 * (src[s-n+j] + src[s+n+j] + src[s+j-1] + src[s+j+1])
+		}
+	}
+}
+
+// copyRows copies interior columns of rows [rlo,rhi) from src (offset by
+// srcOff rows) into dst.
+func copyRows(dst, src []float32, n, rlo, rhi, srcOff int) {
+	for i := rlo; i < rhi; i++ {
+		d := i * n
+		s := (i - srcOff) * n
+		copy(dst[d+1:d+n-1], src[s+1:s+n-1])
+	}
+}
+
+func runSeq(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunSeq("Jacobi", cfg, func(tm *tmk.Tmk) apputil.SeqProgram {
+		data := make([]float32, n*n)
+		scratch := make([]float32, n*n)
+		initGrid(data, n)
+		initGrid(scratch, n)
+		interior := (n - 2) * (n - 2)
+		return apputil.SeqProgram{
+			Iterate: func(k int) {
+				stencilRows(scratch, data, n, 1, n-1, 0)
+				tm.Advance(apputil.Cost(interior, cfg.App.JacobiUpdate))
+				copyRows(data, scratch, n, 1, n-1, 0)
+				tm.Advance(apputil.Cost(interior, cfg.App.JacobiCopy))
+			},
+			Checksum: func() float64 { return apputil.Sum64(data) },
+		}
+	})
+}
+
+// runTmk is the hand-coded TreadMarks version: the grid is shared, the
+// scratch array is private (the hand coder knows it never crosses
+// processors — the 2% SPF gap of §5.1 comes from SPF sharing it).
+// push selects the §8 optimization: boundary-row diffs travel with the
+// barrier (producer push) instead of being page-faulted in afterwards
+// (consumer pull), halving the message count and hiding the fetch
+// round trips.
+func runTmk(cfg core.Config, push bool) (core.Result, error) {
+	n := cfg.N1
+	v := core.Tmk
+	if push {
+		v = core.TmkPush
+	}
+	return apputil.RunTmk("Jacobi", v, cfg, func(tm *tmk.Tmk) apputil.TmkProgram {
+		data := tmk.Alloc[float32](tm, "data", n*n)
+		lo, hi := apputil.BlockOf(tm.ID(), tm.NProcs(), n-2)
+		lo, hi = lo+1, hi+1 // interior rows
+		rows := hi - lo
+		scratch := make([]float32, max(rows, 0)*n)
+		if tm.ID() == 0 {
+			w := data.Write(0, n*n)
+			initGrid(w[:n*n], n)
+		}
+		if push && rows > 0 {
+			me, last := tm.ID(), tm.NProcs()-1
+			if me > 0 {
+				tmk.PushOnBarrier(tm, data, lo*n, (lo+1)*n, me-1)
+				tm.ExpectPushOnBarrier(me - 1)
+			}
+			if me < last {
+				tmk.PushOnBarrier(tm, data, (hi-1)*n, hi*n, me+1)
+				tm.ExpectPushOnBarrier(me + 1)
+			}
+		}
+		tm.Barrier()
+		return apputil.TmkProgram{
+			Iterate: func(k int) {
+				if rows > 0 {
+					rd := data.Read((lo-1)*n, (hi+1)*n)
+					stencilRows(scratch, rd, n, lo, hi, lo)
+					tm.Advance(apputil.Cost(rows*(n-2), cfg.App.JacobiUpdate))
+				}
+				tm.Barrier()
+				if rows > 0 {
+					w := data.Write(lo*n, hi*n)
+					copyRows(w, scratch, n, lo, hi, lo)
+					tm.Advance(apputil.Cost(rows*(n-2), cfg.App.JacobiCopy))
+				}
+				tm.Barrier()
+			},
+			Checksum: func() float64 {
+				g := data.Read(0, n*n)
+				return apputil.Sum64(g[:n*n])
+			},
+		}
+	})
+}
+
+// runSPF is the compiler-generated shared-memory version: both arrays
+// live in shared memory (the SPF compiler shares every array touched by
+// a parallel loop), and each phase is an encapsulated parallel loop
+// dispatched through the fork-join interface. aggregated selects the §5.1
+// hand optimization (data aggregation through the enhanced interface).
+func runSPF(cfg core.Config, opts spf.Options, aggregated bool) (core.Result, error) {
+	n := cfg.N1
+	v := core.SPF
+	if opts.Old {
+		v = core.SPFOld
+	}
+	if aggregated {
+		v = core.SPFOpt
+	}
+	return apputil.RunSPF("Jacobi", v, cfg, opts, func(rt *spf.Runtime) apputil.SPFProgram {
+		tm := rt.Tmk()
+		data := tmk.Alloc[float32](tm, "data", n*n)
+		scratch := tmk.Alloc[float32](tm, "scratch", n*n)
+
+		phase1 := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if lo >= hi {
+				return
+			}
+			var rd, w []float32
+			if aggregated {
+				rd = data.ReadAggregated((lo-1)*n, (hi+1)*n)
+				w = scratch.WriteAggregated(lo*n, hi*n)
+			} else {
+				rd = data.Read((lo-1)*n, (hi+1)*n)
+				w = scratch.Write(lo*n, hi*n)
+			}
+			stencilRows(w, rd, n, lo, hi, 0)
+			rt.Advance(apputil.Cost((hi-lo)*(n-2), cfg.App.JacobiUpdate))
+		})
+		phase2 := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if lo >= hi {
+				return
+			}
+			var rd, w []float32
+			if aggregated {
+				rd = scratch.ReadAggregated(lo*n, hi*n)
+				w = data.WriteAggregated(lo*n, hi*n)
+			} else {
+				rd = scratch.Read(lo*n, hi*n)
+				w = data.Write(lo*n, hi*n)
+			}
+			copyRows(w, rd, n, lo, hi, 0)
+			rt.Advance(apputil.Cost((hi-lo)*(n-2), cfg.App.JacobiCopy))
+		})
+
+		if rt.IsMaster() {
+			w := data.Write(0, n*n)
+			initGrid(w[:n*n], n)
+			ws := scratch.Write(0, n*n)
+			initGrid(ws[:n*n], n)
+		}
+		return apputil.SPFProgram{
+			IterateMaster: func(k int) {
+				rt.ParallelDo(phase1, 1, n-1, spf.Block)
+				rt.ParallelDo(phase2, 1, n-1, spf.Block)
+			},
+			Checksum: func() float64 {
+				g := data.Read(0, n*n)
+				return apputil.Sum64(g[:n*n])
+			},
+		}
+	})
+}
+
+// runXHPF is the compiler-generated message-passing version: BLOCK
+// row distribution, halo exchange generated for the analyzable stencil,
+// and runtime synchronization at each parallel-loop boundary.
+func runXHPF(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunXHPF("Jacobi", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+		data := make([]float32, n*n)
+		scratch := make([]float32, n*n)
+		initGrid(data, n)
+		initGrid(scratch, n)
+		elo, ehi := x.Block(n * n) // element-block = row-block (n | n*n/procs)
+		rlo, rhi := elo/n, ehi/n
+		// Owner-computes interior rows.
+		clo, chi := max(rlo, 1), min(rhi, n-1)
+		return apputil.XHPFProgram{
+			Iterate: func(k int) {
+				xhpf.ExchangeHalo(x, data, n*n, n)
+				if chi > clo {
+					stencilRows(scratch, data, n, clo, chi, 0)
+					x.Advance(apputil.Cost((chi-clo)*(n-2), cfg.App.JacobiUpdate))
+				}
+				x.LoopSync()
+				if chi > clo {
+					copyRows(data, scratch, n, clo, chi, 0)
+					x.Advance(apputil.Cost((chi-clo)*(n-2), cfg.App.JacobiCopy))
+				}
+				x.LoopSync()
+			},
+			Checksum: func() float64 {
+				gatherRows(x.PVM(), data, n, rlo, rhi)
+				if x.ID() != 0 {
+					return 0
+				}
+				return apputil.Sum64(data)
+			},
+		}
+	})
+}
+
+// runPVM is the hand-coded message-passing version: boundary rows are
+// exchanged directly — a single message carries both the data and the
+// synchronization, and no communication at all separates the two phases.
+func runPVM(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunPVM("Jacobi", core.PVMe, cfg, func(pv *pvm.PVM) apputil.PVMProgram {
+		data := make([]float32, n*n)
+		scratch := make([]float32, n*n)
+		initGrid(data, n)
+		initGrid(scratch, n)
+		elo, ehi := apputil.BlockOf(pv.ID(), pv.NProcs(), n*n)
+		rlo, rhi := elo/n, ehi/n
+		clo, chi := max(rlo, 1), min(rhi, n-1)
+		me := pv.ID()
+		last := pv.NProcs() - 1
+		return apputil.PVMProgram{
+			Iterate: func(k int) {
+				// Boundary-row exchange: send up, send down, receive.
+				if me > 0 {
+					pvm.Send(pv, me-1, 70, data[rlo*n:(rlo+1)*n])
+				}
+				if me < last {
+					pvm.Send(pv, me+1, 71, data[(rhi-1)*n:rhi*n])
+				}
+				if me > 0 {
+					pvm.Recv(pv, me-1, 71, data[(rlo-1)*n:rlo*n])
+				}
+				if me < last {
+					pvm.Recv(pv, me+1, 70, data[rhi*n:(rhi+1)*n])
+				}
+				if chi > clo {
+					stencilRows(scratch, data, n, clo, chi, 0)
+					pv.Advance(apputil.Cost((chi-clo)*(n-2), cfg.App.JacobiUpdate))
+					copyRows(data, scratch, n, clo, chi, 0)
+					pv.Advance(apputil.Cost((chi-clo)*(n-2), cfg.App.JacobiCopy))
+				}
+			},
+			Checksum: func() float64 {
+				gatherRows(pv, data, n, rlo, rhi)
+				if pv.ID() != 0 {
+					return 0
+				}
+				return apputil.Sum64(data)
+			},
+		}
+	})
+}
+
+// gatherRows collects every task's row block on task 0, untracked.
+func gatherRows(pv *pvm.PVM, data []float32, n, rlo, rhi int) {
+	if pv.ID() == 0 {
+		for q := 1; q < pv.NProcs(); q++ {
+			qlo, qhi := apputil.BlockOf(q, pv.NProcs(), n*n)
+			pvm.RecvUntracked(pv, q, 90+q, data[qlo:qhi])
+		}
+		return
+	}
+	pvm.SendUntracked(pv, 0, 90+pv.ID(), data[rlo*n:rhi*n])
+}

@@ -1,0 +1,313 @@
+// Package mgs implements the paper's Modified Gramm-Schmidt application
+// (§5.3): computing an orthonormal basis for N N-dimensional
+// single-precision vectors. At iteration i the i-th vector is
+// normalized sequentially, then every vector j > i is orthogonalized
+// against it in parallel; vectors are dealt to processors cyclically for
+// load balance and everyone synchronizes once per iteration.
+//
+// The version differences the paper analyzes:
+//
+//   - hand-coded TreadMarks normalizes on the vector's owner;
+//   - SPF normalizes on the master (normalization is sequential code in
+//     the fork-join model), so the vector crosses to the master and back;
+//   - XHPF replicates the normalization on all processors (SPMD), after
+//     the owner broadcasts the updated vector;
+//   - hand-coded PVMe broadcasts the normalized vector — one message
+//     carries both the data and the synchronization;
+//   - the §5.3 hand optimization gives TreadMarks the same broadcast
+//     (merged synchronization and data through the enhanced interface).
+//
+// Orientation: the paper's Fortran vectors are matrix columns
+// (contiguous); here they are matrix rows (contiguous). A 1024-element
+// single-precision vector is exactly one 4 KB page either way.
+package mgs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/pvm"
+	"repro/internal/spf"
+	"repro/internal/tmk"
+	"repro/internal/xhpf"
+)
+
+type app struct{}
+
+// New returns the MGS application.
+func New() core.App { return app{} }
+
+func (app) Name() string { return "MGS" }
+
+func (app) PaperConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 1024, Iters: 1024, Warmup: 0}
+}
+
+func (app) SmallConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 64, Iters: 64, Warmup: 0}
+}
+
+func (app) Versions() []core.Version {
+	return []core.Version{core.Seq, core.SPF, core.Tmk, core.XHPF, core.PVMe, core.TmkOpt}
+}
+
+func (a app) Run(v core.Version, cfg core.Config) (core.Result, error) {
+	if cfg.Iters != cfg.N1 {
+		return core.Result{}, fmt.Errorf("mgs: Iters must equal N1 (one iteration per vector)")
+	}
+	switch v {
+	case core.Seq:
+		return runSeq(cfg)
+	case core.Tmk:
+		return runTmk(cfg, false)
+	case core.TmkOpt:
+		return runTmk(cfg, true)
+	case core.SPF:
+		return runSPF(cfg)
+	case core.XHPF:
+		return runXHPF(cfg)
+	case core.PVMe:
+		return runPVM(cfg)
+	}
+	return core.Result{}, fmt.Errorf("mgs: unsupported version %q", v)
+}
+
+// initValue is the deterministic pseudo-random initializer every version
+// shares: a cheap integer hash mapped into [0.5, 1.5).
+func initValue(i int) float32 {
+	h := uint32(i)*2654435761 + 12345
+	h ^= h >> 13
+	h *= 2246822519
+	h ^= h >> 16
+	return 0.5 + float32(h%4096)/4096
+}
+
+func initMatrix(m []float32, n int) {
+	for i := range m[:n*n] {
+		m[i] = initValue(i)
+	}
+}
+
+// dot64 is the deterministic float64 inner product every version uses.
+func dot64(a, b []float32) float64 {
+	var s float64
+	for k := range a {
+		s += float64(a[k]) * float64(b[k])
+	}
+	return s
+}
+
+// normalizeRow scales row to unit length.
+func normalizeRow(row []float32) {
+	inv := float32(1 / math.Sqrt(dot64(row, row)))
+	for k := range row {
+		row[k] *= inv
+	}
+}
+
+// orthoRow removes row's component along unit.
+func orthoRow(row, unit []float32) {
+	r := float32(dot64(unit, row))
+	for k := range row {
+		row[k] -= r * unit[k]
+	}
+}
+
+func runSeq(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunSeq("MGS", cfg, func(tm *tmk.Tmk) apputil.SeqProgram {
+		m := make([]float32, n*n)
+		initMatrix(m, n)
+		return apputil.SeqProgram{
+			Iterate: func(i int) {
+				normalizeRow(m[i*n : (i+1)*n])
+				tm.Advance(apputil.Cost(n, cfg.App.MGSNormalize))
+				for j := i + 1; j < n; j++ {
+					orthoRow(m[j*n:(j+1)*n], m[i*n:(i+1)*n])
+				}
+				tm.Advance(apputil.Cost((n-i-1)*n, cfg.App.MGSOrtho))
+			},
+			Checksum: func() float64 { return apputil.Sum64(m) },
+		}
+	})
+}
+
+// runTmk is the hand-coded TreadMarks version (broadcast=false) and the
+// §5.3 hand-optimized version (broadcast=true).
+func runTmk(cfg core.Config, broadcast bool) (core.Result, error) {
+	n := cfg.N1
+	v := core.Tmk
+	if broadcast {
+		v = core.TmkOpt
+	}
+	return apputil.RunTmk("MGS", v, cfg, func(tm *tmk.Tmk) apputil.TmkProgram {
+		m := tmk.Alloc[float32](tm, "m", n*n)
+		me, nprocs := tm.ID(), tm.NProcs()
+		if me == 0 {
+			w := m.Write(0, n*n)
+			initMatrix(w, n)
+		}
+		tm.Barrier()
+		return apputil.TmkProgram{
+			Iterate: func(i int) {
+				owner := i % nprocs
+				if owner == me {
+					w := m.Write(i*n, (i+1)*n)
+					normalizeRow(w[i*n : (i+1)*n])
+					tm.Advance(apputil.Cost(n, cfg.App.MGSNormalize))
+				}
+				if broadcast {
+					// Merged synchronization and data: the owner ships the
+					// normalized vector directly; no barrier, no faults.
+					tmk.BroadcastRegion(tm, m, i*n, (i+1)*n, owner)
+				} else {
+					tm.Barrier()
+				}
+				unit := m.Read(i*n, (i+1)*n)
+				var mine int
+				for j := i + 1 + ((me-i-1)%nprocs+nprocs)%nprocs; j < n; j += nprocs {
+					w := m.Write(j*n, (j+1)*n)
+					orthoRow(w[j*n:(j+1)*n], unit[i*n:(i+1)*n])
+					mine++
+				}
+				tm.Advance(apputil.Cost(mine*n, cfg.App.MGSOrtho))
+			},
+			Checksum: func() float64 {
+				g := m.Read(0, n*n)
+				return apputil.Sum64(g[:n*n])
+			},
+		}
+	})
+}
+
+// runSPF is the compiler-generated shared-memory version: normalization
+// is sequential code executed on the master (the vector migrates from
+// its owner to the master and back out to every reader — the §5.3 SPF
+// penalty), and the orthogonalization loop is dispatched cyclically.
+func runSPF(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunSPF("MGS", core.SPF, cfg, spf.Options{}, func(rt *spf.Runtime) apputil.SPFProgram {
+		tm := rt.Tmk()
+		m := tmk.Alloc[float32](tm, "m", n*n)
+		ortho := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			i := int(args[0])
+			unit := m.Read(i*n, (i+1)*n)
+			var mine int
+			for j := lo; j < hi; j += stride {
+				w := m.Write(j*n, (j+1)*n)
+				orthoRow(w[j*n:(j+1)*n], unit[i*n:(i+1)*n])
+				mine++
+			}
+			rt.Advance(apputil.Cost(mine*n, cfg.App.MGSOrtho))
+		})
+		if rt.IsMaster() {
+			w := m.Write(0, n*n)
+			initMatrix(w, n)
+		}
+		return apputil.SPFProgram{
+			IterateMaster: func(i int) {
+				// Sequential section: normalize on the master.
+				w := m.Write(i*n, (i+1)*n)
+				normalizeRow(w[i*n : (i+1)*n])
+				rt.Advance(apputil.Cost(n, cfg.App.MGSNormalize))
+				rt.ParallelDo(ortho, i+1, n, spf.Cyclic, int64(i))
+			},
+			Checksum: func() float64 {
+				g := m.Read(0, n*n)
+				return apputil.Sum64(g[:n*n])
+			},
+		}
+	})
+}
+
+// runXHPF is the compiler-generated message-passing version: the owner
+// broadcasts the i-th vector, every processor performs the normalization
+// redundantly (replicated sequential code in the SPMD model — the §5.3
+// XHPF penalty), and the cyclic owner-computes loop updates local rows.
+func runXHPF(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunXHPF("MGS", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+		m := make([]float32, n*n)
+		initMatrix(m, n)
+		me, nprocs := x.ID(), x.NProcs()
+		return apputil.XHPFProgram{
+			Iterate: func(i int) {
+				owner := i % nprocs
+				row := m[i*n : (i+1)*n]
+				xhpf.Bcast(x, owner, row)
+				// Replicated normalization: every processor computes it.
+				normalizeRow(row)
+				x.Advance(apputil.Cost(n, cfg.App.MGSNormalize))
+				x.LoopSync() // generated sync after the scale loop
+				var mine int
+				for j := i + 1 + ((me-i-1)%nprocs+nprocs)%nprocs; j < n; j += nprocs {
+					orthoRow(m[j*n:(j+1)*n], row)
+					mine++
+				}
+				x.Advance(apputil.Cost(mine*n, cfg.App.MGSOrtho))
+				x.LoopSync() // generated sync after the orthogonalize loop
+			},
+			Checksum: func() float64 {
+				gatherCyclic(x.PVM(), m, n)
+				if me != 0 {
+					return 0
+				}
+				return apputil.Sum64(m)
+			},
+		}
+	})
+}
+
+// runPVM is the hand-coded message-passing version: the owner
+// normalizes and broadcasts the i-th vector in one step; the broadcast
+// is both the data movement and the synchronization.
+func runPVM(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunPVM("MGS", core.PVMe, cfg, func(pv *pvm.PVM) apputil.PVMProgram {
+		m := make([]float32, n*n)
+		initMatrix(m, n)
+		me, nprocs := pv.ID(), pv.NProcs()
+		return apputil.PVMProgram{
+			Iterate: func(i int) {
+				owner := i % nprocs
+				row := m[i*n : (i+1)*n]
+				if owner == me {
+					normalizeRow(row)
+					pv.Advance(apputil.Cost(n, cfg.App.MGSNormalize))
+				}
+				pvm.Bcast(pv, owner, 300, row)
+				var mine int
+				for j := i + 1 + ((me-i-1)%nprocs+nprocs)%nprocs; j < n; j += nprocs {
+					orthoRow(m[j*n:(j+1)*n], row)
+					mine++
+				}
+				pv.Advance(apputil.Cost(mine*n, cfg.App.MGSOrtho))
+			},
+			Checksum: func() float64 {
+				gatherCyclic(pv, m, n)
+				if me != 0 {
+					return 0
+				}
+				return apputil.Sum64(m)
+			},
+		}
+	})
+}
+
+// gatherCyclic collects cyclically distributed rows on task 0, untracked.
+func gatherCyclic(pv *pvm.PVM, m []float32, n int) {
+	me, nprocs := pv.ID(), pv.NProcs()
+	if me == 0 {
+		for j := 0; j < n; j++ {
+			if j%nprocs != 0 {
+				pvm.RecvUntracked(pv, j%nprocs, 400+j%64, m[j*n:(j+1)*n])
+			}
+		}
+		return
+	}
+	for j := me; j < n; j += nprocs {
+		pvm.SendUntracked(pv, 0, 400+j%64, m[j*n:(j+1)*n])
+	}
+}

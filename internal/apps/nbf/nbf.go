@@ -1,0 +1,501 @@
+// Package nbf implements the paper's NBF application (§6.2): the
+// non-bonded force kernel of a molecular dynamics simulation. Every
+// molecule carries a run-time partner list (molecules close enough to
+// interact); the force loop walks the lists and scatters updates to both
+// molecules of each pair through the indirection, so compilers cannot
+// analyze the access pattern. Each processor accumulates force updates
+// into a local contribution buffer; the buffers are summed after the
+// force loop, and the coordinates move at the end of the iteration.
+//
+// Partner lists are generated with spatial locality (partners within a
+// window of indices), which is what makes the DSM versions cheap: the
+// contribution buffers are zero except near block boundaries, so
+// TreadMarks diffs carry almost nothing, while XHPF must broadcast whole
+// buffers (Table 3: 228 KB vs 163,775 KB of data).
+//
+// Simplification (documented in DESIGN.md): forces are a single scalar
+// per molecule rather than a 3-vector; coordinates remain 3-D. The
+// communication structure — full-buffer reduction, coordinate windows —
+// is preserved with the paper's array sizes.
+package nbf
+
+import (
+	"fmt"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/pvm"
+	"repro/internal/spf"
+	"repro/internal/tmk"
+	"repro/internal/xhpf"
+)
+
+type app struct{}
+
+// New returns the NBF application.
+func New() core.App { return app{} }
+
+func (app) Name() string { return "NBF" }
+
+func (app) PaperConfig(procs int) core.Config {
+	// N1 = molecules, N2 = partner-window, N3 = partners per molecule.
+	return core.Config{Procs: procs, N1: 32768, N2: 512, N3: 100, Iters: 19, Warmup: 1}
+}
+
+func (app) SmallConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 1024, N2: 64, N3: 12, Iters: 4, Warmup: 1}
+}
+
+func (app) Versions() []core.Version {
+	return []core.Version{core.Seq, core.SPF, core.Tmk, core.XHPF, core.PVMe}
+}
+
+func (a app) Run(v core.Version, cfg core.Config) (core.Result, error) {
+	switch v {
+	case core.Seq:
+		return runSeq(cfg)
+	case core.Tmk:
+		return runTmk(cfg)
+	case core.SPF:
+		return runSPF(cfg)
+	case core.XHPF:
+		return runXHPF(cfg)
+	case core.PVMe:
+		return runPVM(cfg)
+	}
+	return core.Result{}, fmt.Errorf("nbf: unsupported version %q", v)
+}
+
+func hash32(x uint32) uint32 {
+	x = x*2654435761 + 974711
+	x ^= x >> 13
+	x *= 2246822519
+	x ^= x >> 16
+	return x
+}
+
+// farEvery controls the sprinkling of non-local pairs: one molecule in
+// every farEvery has a single partner drawn uniformly from [0, i). Real
+// neighbor lists are mostly local with a thin far tail; the tail is what
+// produces the paper's scattered TreadMarks page faults (660 messages
+// per iteration) while staying a "small subsection of the array" (§6.2).
+const farEvery = 176
+
+// buildPartners generates each molecule's partner list: N3 partners
+// drawn deterministically from the window [i-N2, i), plus the sparse far
+// tail. Pairs are stored on the higher-indexed molecule so each pair is
+// processed exactly once.
+func buildPartners(m, window, per int) [][]int32 {
+	lists := make([][]int32, m)
+	for i := 0; i < m; i++ {
+		span := min(i, window)
+		if span == 0 {
+			continue
+		}
+		count := min(per, span)
+		seen := make(map[int32]bool, count)
+		list := make([]int32, 0, count+1)
+		for k := 0; len(list) < count; k++ {
+			j := int32(i - 1 - int(hash32(uint32(i*1009+k))%uint32(span)))
+			if !seen[j] {
+				seen[j] = true
+				list = append(list, j)
+			}
+		}
+		if i%farEvery == farEvery-1 {
+			far := int32(hash32(uint32(i*31+7)) % uint32(i))
+			if !seen[far] {
+				list = append(list, far)
+			}
+		}
+		lists[i] = list
+	}
+	return lists
+}
+
+func initCoords(x, y, z []float32) {
+	for i := range x {
+		x[i] = 0.5 + float32(hash32(uint32(3*i))%1024)/1024
+		y[i] = 0.5 + float32(hash32(uint32(3*i+1))%1024)/1024
+		z[i] = 0.5 + float32(hash32(uint32(3*i+2))%1024)/1024
+	}
+}
+
+// pairForce is the interaction kernel: a cheap deterministic function of
+// the coordinate difference.
+func pairForce(xi, yi, zi, xj, yj, zj float32) float32 {
+	dx, dy, dz := xi-xj, yi-yj, zi-zj
+	return dx*0.001 + dy*0.0005 + dz*0.00025 - (dx*dx+dy*dy+dz*dz)*0.0001
+}
+
+// forceBlock accumulates pair forces for molecules [lo,hi) into buf.
+// Returns the number of pairs processed (for cost charging).
+func forceBlock(buf, x, y, z []float32, lists [][]int32, lo, hi int) int {
+	pairs := 0
+	for i := lo; i < hi; i++ {
+		for _, j := range lists[i] {
+			g := pairForce(x[i], y[i], z[i], x[j], y[j], z[j])
+			buf[i] += g
+			buf[j] -= g
+			pairs++
+		}
+	}
+	return pairs
+}
+
+// moveBlock applies summed forces to coordinates for [lo,hi).
+func moveBlock(x, y, z, f []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		x[i] += f[i] * 0.01
+		y[i] += f[i] * 0.005
+		z[i] += f[i] * 0.0025
+	}
+}
+
+func coordSum(x, y, z []float32) float64 {
+	return apputil.Sum64(x) + 2*apputil.Sum64(y) + 4*apputil.Sum64(z)
+}
+
+// forceBlockDSM is the force phase against shared regions: the local
+// window is range-validated once (the checks a compiler hoists), and the
+// sparse far partners are demand-faulted page by page, exactly as
+// hardware faulting would behave. Far-scattered buffer entries from the
+// previous iteration are re-zeroed first.
+func forceBlockDSM(buf, x, y, z *tmk.Region[float32], lists [][]int32, lo, hi, wlo int) int {
+	bw := buf.Write(wlo, hi)
+	for i := wlo; i < hi; i++ {
+		bw[i] = 0
+	}
+	for i := lo; i < hi; i++ {
+		for _, j := range lists[i] {
+			if int(j) < wlo {
+				bw = buf.Write(int(j), int(j)+1)
+				bw[j] = 0
+			}
+		}
+	}
+	rx := x.Read(wlo, hi)
+	ry := y.Read(wlo, hi)
+	rz := z.Read(wlo, hi)
+	pairs := 0
+	for i := lo; i < hi; i++ {
+		for _, j := range lists[i] {
+			jj := int(j)
+			if jj < wlo {
+				rx = x.Read(jj, jj+1)
+				ry = y.Read(jj, jj+1)
+				rz = z.Read(jj, jj+1)
+				bw = buf.Write(jj, jj+1)
+			}
+			g := pairForce(rx[i], ry[i], rz[i], rx[jj], ry[jj], rz[jj])
+			bw[i] += g
+			bw[jj] -= g
+			pairs++
+		}
+	}
+	return pairs
+}
+
+func runSeq(cfg core.Config) (core.Result, error) {
+	m := cfg.N1
+	return apputil.RunSeq("NBF", cfg, func(tm *tmk.Tmk) apputil.SeqProgram {
+		x := make([]float32, m)
+		y := make([]float32, m)
+		z := make([]float32, m)
+		f := make([]float32, m)
+		lists := buildPartners(m, cfg.N2, cfg.N3)
+		initCoords(x, y, z)
+		return apputil.SeqProgram{
+			Iterate: func(k int) {
+				for i := range f {
+					f[i] = 0
+				}
+				pairs := forceBlock(f, x, y, z, lists, 0, m)
+				tm.Advance(apputil.Cost(pairs, cfg.App.NBFPair))
+				moveBlock(x, y, z, f, 0, m)
+				tm.Advance(apputil.Cost(m, cfg.App.NBFUpdate))
+			},
+			Checksum: func() float64 { return coordSum(x, y, z) },
+		}
+	})
+}
+
+func runTmk(cfg core.Config) (core.Result, error) {
+	m := cfg.N1
+	return apputil.RunTmk("NBF", core.Tmk, cfg, func(tm *tmk.Tmk) apputil.TmkProgram {
+		me, nprocs := tm.ID(), tm.NProcs()
+		x := tmk.Alloc[float32](tm, "x", m)
+		y := tmk.Alloc[float32](tm, "y", m)
+		z := tmk.Alloc[float32](tm, "z", m)
+		bufs := make([]*tmk.Region[float32], nprocs)
+		for p := 0; p < nprocs; p++ {
+			bufs[p] = tmk.Alloc[float32](tm, fmt.Sprintf("buf%d", p), m)
+		}
+		lists := buildPartners(m, cfg.N2, cfg.N3)
+		lo, hi := apputil.BlockOf(me, nprocs, m)
+		wlo := max(0, lo-cfg.N2) // my contribution window
+		f := make([]float32, m)  // private summed force (own block only)
+		if me == 0 {
+			wx, wy, wz := x.Write(0, m), y.Write(0, m), z.Write(0, m)
+			initCoords(wx[:m], wy[:m], wz[:m])
+		}
+		tm.Barrier()
+		return apputil.TmkProgram{
+			Iterate: func(k int) {
+				// Force phase: window range-validated, far partners
+				// demand-faulted, accumulation into my shared buffer.
+				pairs := forceBlockDSM(bufs[me], x, y, z, lists, lo, hi, wlo)
+				tm.Advance(apputil.Cost(pairs, cfg.App.NBFPair))
+				tm.Barrier()
+				// Combine: sum every processor's contributions over my
+				// block (faults fetch only the buffer pages that were
+				// actually written near boundaries), then move my block.
+				for i := lo; i < hi; i++ {
+					f[i] = 0
+				}
+				for p := 0; p < nprocs; p++ {
+					rb := bufs[p].Read(lo, hi)
+					for i := lo; i < hi; i++ {
+						f[i] += rb[i]
+					}
+				}
+				wx := x.Write(lo, hi)
+				wy := y.Write(lo, hi)
+				wz := z.Write(lo, hi)
+				moveBlock(wx, wy, wz, f, lo, hi)
+				tm.Advance(apputil.Cost(hi-lo, cfg.App.NBFUpdate))
+				tm.Barrier()
+			},
+			Checksum: func() float64 {
+				gx, gy, gz := x.Read(0, m), y.Read(0, m), z.Read(0, m)
+				return coordSum(gx[:m], gy[:m], gz[:m])
+			},
+		}
+	})
+}
+
+func runSPF(cfg core.Config) (core.Result, error) {
+	m := cfg.N1
+	return apputil.RunSPF("NBF", core.SPF, cfg, spf.Options{}, func(rt *spf.Runtime) apputil.SPFProgram {
+		tm := rt.Tmk()
+		nprocs := rt.NProcs()
+		x := tmk.Alloc[float32](tm, "x", m)
+		y := tmk.Alloc[float32](tm, "y", m)
+		z := tmk.Alloc[float32](tm, "z", m)
+		force := tmk.Alloc[float32](tm, "force", m)
+		bufs := make([]*tmk.Region[float32], nprocs)
+		for p := 0; p < nprocs; p++ {
+			bufs[p] = tmk.Alloc[float32](tm, fmt.Sprintf("buf%d", p), m)
+		}
+		lists := buildPartners(m, cfg.N2, cfg.N3)
+
+		forceLoop := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			wlo := max(0, lo-cfg.N2)
+			pairs := forceBlockDSM(bufs[rt.ID()], x, y, z, lists, lo, hi, wlo)
+			rt.Advance(apputil.Cost(pairs, cfg.App.NBFPair))
+		})
+		moveLoop := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			w := force.Write(lo, hi)
+			for i := lo; i < hi; i++ {
+				w[i] = 0
+			}
+			for p := 0; p < nprocs; p++ {
+				rb := bufs[p].Read(lo, hi)
+				for i := lo; i < hi; i++ {
+					w[i] += rb[i]
+				}
+			}
+			wx := x.Write(lo, hi)
+			wy := y.Write(lo, hi)
+			wz := z.Write(lo, hi)
+			moveBlock(wx, wy, wz, w, lo, hi)
+			rt.Advance(apputil.Cost(hi-lo, cfg.App.NBFUpdate))
+		})
+
+		if rt.IsMaster() {
+			wx, wy, wz := x.Write(0, m), y.Write(0, m), z.Write(0, m)
+			initCoords(wx[:m], wy[:m], wz[:m])
+		}
+		return apputil.SPFProgram{
+			IterateMaster: func(k int) {
+				rt.ParallelDo(forceLoop, 0, m, spf.Block)
+				rt.ParallelDo(moveLoop, 0, m, spf.Block)
+			},
+			Checksum: func() float64 {
+				gx, gy, gz := x.Read(0, m), y.Read(0, m), z.Read(0, m)
+				return coordSum(gx[:m], gy[:m], gz[:m])
+			},
+		}
+	})
+}
+
+func runXHPF(cfg core.Config) (core.Result, error) {
+	m := cfg.N1
+	return apputil.RunXHPF("NBF", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+		xs := make([]float32, m)
+		ys := make([]float32, m)
+		zs := make([]float32, m)
+		buf := make([]float32, m)
+		lists := buildPartners(m, cfg.N2, cfg.N3)
+		initCoords(xs, ys, zs)
+		me := x.ID()
+		lo, hi := x.Block(m)
+		return apputil.XHPFProgram{
+			Iterate: func(k int) {
+				for i := range buf {
+					buf[i] = 0
+				}
+				pairs := forceBlock(buf, xs, ys, zs, lists, lo, hi)
+				x.Advance(apputil.Cost(pairs, cfg.App.NBFPair))
+				// The compiler cannot tell which buffer entries were
+				// touched through the partner lists: broadcast the whole
+				// local force buffer and sum (paper §6.2).
+				orderedAccumulate(x, buf)
+				x.LoopSync()
+				moveBlock(xs, ys, zs, buf, lo, hi)
+				x.Advance(apputil.Cost(hi-lo, cfg.App.NBFUpdate))
+				// Coordinates also defeat analysis: broadcast partitions.
+				xhpf.BroadcastPartition(x, xs, m, 4)
+				xhpf.BroadcastPartition(x, ys, m, 4)
+				xhpf.BroadcastPartition(x, zs, m, 4)
+				x.LoopSync()
+			},
+			Checksum: func() float64 {
+				if me != 0 {
+					return 0
+				}
+				return coordSum(xs, ys, zs)
+			},
+		}
+	})
+}
+
+// orderedAccumulate sums every processor's full contribution buffer in
+// processor order (so all parallel versions produce bitwise-identical
+// forces).
+func orderedAccumulate(x *xhpf.XHPF, buf []float32) {
+	parts := make([][]float32, x.NProcs())
+	for q := range parts {
+		if q == x.ID() {
+			mine := make([]float32, len(buf))
+			copy(mine, buf)
+			parts[q] = mine
+		} else {
+			parts[q] = make([]float32, len(buf))
+		}
+	}
+	xhpf.BroadcastGather(x, parts)
+	for i := range buf {
+		var s float32
+		for q := 0; q < x.NProcs(); q++ {
+			s += parts[q][i]
+		}
+		buf[i] = s
+	}
+}
+
+func runPVM(cfg core.Config) (core.Result, error) {
+	m := cfg.N1
+	return apputil.RunPVM("NBF", core.PVMe, cfg, func(pv *pvm.PVM) apputil.PVMProgram {
+		xs := make([]float32, m)
+		ys := make([]float32, m)
+		zs := make([]float32, m)
+		buf := make([]float32, m)
+		lists := buildPartners(m, cfg.N2, cfg.N3)
+		initCoords(xs, ys, zs)
+		me, nprocs := pv.ID(), pv.NProcs()
+		lo, hi := apputil.BlockOf(me, nprocs, m)
+		w := cfg.N2
+		return apputil.PVMProgram{
+			Iterate: func(k int) {
+				for i := range buf {
+					buf[i] = 0
+				}
+				pairs := forceBlock(buf, xs, ys, zs, lists, lo, hi)
+				pv.Advance(apputil.Cost(pairs, cfg.App.NBFPair))
+				// Hand-coded: sum the full force buffers through task 0 in
+				// task order, rebroadcast (paper's PVMe data volume comes
+				// from exactly this full-buffer reduction).
+				total := orderedReduce(pv, buf)
+				copy(buf, total)
+				moveBlock(xs, ys, zs, buf, lo, hi)
+				pv.Advance(apputil.Cost(hi-lo, cfg.App.NBFUpdate))
+				// Partners reach at most N2 below my block: send my lower
+				// boundary window up, my upper boundary window down.
+				exchangeCoordWindows(pv, xs, ys, zs, lo, hi, w, m)
+			},
+			Checksum: func() float64 {
+				gatherBlocks(pv, xs, ys, zs, m)
+				if me != 0 {
+					return 0
+				}
+				return coordSum(xs, ys, zs)
+			},
+		}
+	})
+}
+
+// orderedReduce gathers every task's buffer on task 0, sums in task
+// order, and broadcasts the total.
+func orderedReduce(pv *pvm.PVM, buf []float32) []float32 {
+	nprocs := pv.NProcs()
+	total := make([]float32, len(buf))
+	if pv.ID() == 0 {
+		parts := make([][]float32, nprocs)
+		parts[0] = buf
+		for q := 1; q < nprocs; q++ {
+			parts[q] = make([]float32, len(buf))
+			pvm.Recv(pv, q, 500, parts[q])
+		}
+		for i := range total {
+			var s float32
+			for q := 0; q < nprocs; q++ {
+				s += parts[q][i]
+			}
+			total[i] = s
+		}
+	} else {
+		pvm.Send(pv, 0, 500, buf)
+	}
+	pvm.Bcast(pv, 0, 502, total)
+	return total
+}
+
+// exchangeCoordWindows ships updated boundary coordinate windows to the
+// neighbors whose partner lists reach into this block.
+func exchangeCoordWindows(pv *pvm.PVM, xs, ys, zs []float32, lo, hi, w, m int) {
+	me, nprocs := pv.ID(), pv.NProcs()
+	for d, arr := range [][]float32{xs, ys, zs} {
+		tag := 510 + 4*d
+		if me < nprocs-1 { // my upper window feeds the next block's partners
+			pvm.Send(pv, me+1, tag, arr[max(hi-w, lo):hi])
+		}
+		if me > 0 { // their upper window is my lower halo
+			pvm.Recv(pv, me-1, tag, arr[max(lo-w, 0):lo])
+		}
+	}
+}
+
+// gatherBlocks collects the coordinate blocks on task 0, untracked.
+func gatherBlocks(pv *pvm.PVM, xs, ys, zs []float32, m int) {
+	me, nprocs := pv.ID(), pv.NProcs()
+	if me == 0 {
+		for q := 1; q < nprocs; q++ {
+			qlo, qhi := apputil.BlockOf(q, nprocs, m)
+			pvm.RecvUntracked(pv, q, 530, xs[qlo:qhi])
+			pvm.RecvUntracked(pv, q, 531, ys[qlo:qhi])
+			pvm.RecvUntracked(pv, q, 532, zs[qlo:qhi])
+		}
+		return
+	}
+	lo, hi := apputil.BlockOf(me, nprocs, m)
+	pvm.SendUntracked(pv, 0, 530, xs[lo:hi])
+	pvm.SendUntracked(pv, 0, 531, ys[lo:hi])
+	pvm.SendUntracked(pv, 0, 532, zs[lo:hi])
+}

@@ -1,0 +1,675 @@
+// Package shallow implements the paper's Shallow application (§5.2): the
+// shallow-water benchmark from the National Center for Atmospheric
+// Research. Thirteen equal-sized single-precision arrays in wrap-around
+// format (u, v, p; uold, vold, pold; unew, vnew, pnew; cu, cv, z, h) are
+// advanced through three steps per iteration — flux/vorticity (cu, cv,
+// z, h), time step (unew, vnew, pnew), and time smoothing — each
+// followed by wrap-around copying of the modified arrays.
+//
+// The wrap-around copying has two halves with very different parallel
+// structure (the §5.2 analysis):
+//
+//   - the contiguous edge (one memcpy of a whole boundary line) is
+//     executed sequentially — on the owner in the hand-coded versions,
+//     but on the *master* in the SPF fork-join model, which is the extra
+//     communication that separates SPF from hand-coded TreadMarks;
+//   - the strided edge crosses every processor's partition and is
+//     parallelized (each processor wraps its own rows).
+//
+// Orientation: the paper's Fortran arrays are column-major and
+// partitioned by columns; this Go port is row-major and partitioned by
+// rows. The paper's "edge column copy" (contiguous, sequential) is our
+// edge-row copy; its parallel "edge row copy" is our per-row column
+// wrap.
+package shallow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/pvm"
+	"repro/internal/sim"
+	"repro/internal/spf"
+	"repro/internal/tmk"
+	"repro/internal/xhpf"
+)
+
+type app struct{}
+
+// New returns the Shallow application.
+func New() core.App { return app{} }
+
+func (app) Name() string { return "Shallow" }
+
+func (app) PaperConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 1024, Iters: 50, Warmup: 1}
+}
+
+func (app) SmallConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 64, Iters: 4, Warmup: 1}
+}
+
+func (app) Versions() []core.Version {
+	return []core.Version{core.Seq, core.SPF, core.Tmk, core.XHPF, core.PVMe, core.SPFOpt}
+}
+
+func (a app) Run(v core.Version, cfg core.Config) (core.Result, error) {
+	switch v {
+	case core.Seq:
+		return runSeq(cfg)
+	case core.Tmk:
+		return runTmk(cfg)
+	case core.SPF:
+		return runSPF(cfg, false)
+	case core.SPFOpt:
+		return runSPF(cfg, true)
+	case core.XHPF:
+		return runXHPF(cfg)
+	case core.PVMe:
+		return runPVM(cfg)
+	}
+	return core.Result{}, fmt.Errorf("shallow: unsupported version %q", v)
+}
+
+// Model constants (after the NCAR benchmark).
+const (
+	dtc    = 90.0
+	dxc    = 100000.0
+	alpha  = 0.001
+	fsdx   = 4.0 / dxc
+	fsdy   = 4.0 / dxc
+	tdts8  = dtc / 8.0 * 2
+	tdtsdx = dtc / dxc * 2
+	tdtsdy = dtc / dxc * 2
+)
+
+// state bundles the 13 arrays so all versions share the kernels.
+type state struct {
+	n                int
+	u, v, p          []float32
+	uold, vold, pold []float32
+	unew, vnew, pnew []float32
+	cu, cv, z, h     []float32
+}
+
+// fields enumerates the arrays for allocation order and wraps.
+func (s *state) init() {
+	n := s.n
+	// Initial velocities from a smooth stream function; deterministic
+	// across all versions.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c := i*n + j
+			a := 2 * math.Pi * float64(i) / float64(n-1)
+			b := 2 * math.Pi * float64(j) / float64(n-1)
+			s.u[c] = float32(math.Sin(a) * math.Cos(b) * 10)
+			s.v[c] = float32(-math.Cos(a) * math.Sin(b) * 10)
+			s.p[c] = float32(50000 + 1000*math.Cos(a)*math.Cos(b))
+			s.uold[c], s.vold[c], s.pold[c] = s.u[c], s.v[c], s.p[c]
+		}
+	}
+}
+
+// loop100 computes cu, cv, z, h for rows [rlo,rhi) (rows run 0..n-2);
+// reads rows i and i+1 of p, u, v.
+func (s *state) loop100(rlo, rhi int) int {
+	n := s.n
+	pts := 0
+	for i := rlo; i < rhi; i++ {
+		for j := 0; j < n-1; j++ {
+			c := i*n + j
+			s.cu[c] = 0.5 * (s.p[c+n] + s.p[c]) * s.u[c+n]
+			s.cv[c] = 0.5 * (s.p[c+1] + s.p[c]) * s.v[c+1]
+			s.z[c] = (fsdx*(s.v[c+n+1]-s.v[c+1]) - fsdy*(s.u[c+n+1]-s.u[c+n])) /
+				(s.p[c] + s.p[c+n] + s.p[c+n+1] + s.p[c+1])
+			s.h[c] = s.p[c] + 0.25*(s.u[c+n]*s.u[c+n]+s.u[c]*s.u[c]+
+				s.v[c+1]*s.v[c+1]+s.v[c]*s.v[c])
+			pts++
+		}
+	}
+	return pts
+}
+
+// loop200 computes unew, vnew, pnew for rows [rlo,rhi); reads rows i and
+// i+1 of cu, cv, z, h plus row i of the old arrays.
+func (s *state) loop200(rlo, rhi int) int {
+	n := s.n
+	pts := 0
+	for i := rlo; i < rhi; i++ {
+		for j := 0; j < n-1; j++ {
+			c := i*n + j
+			s.unew[c] = s.uold[c] + tdts8*(s.z[c+1]+s.z[c])*
+				(s.cv[c+n+1]+s.cv[c+1]+s.cv[c]+s.cv[c+n]) - tdtsdx*(s.h[c+n]-s.h[c])
+			s.vnew[c] = s.vold[c] - tdts8*(s.z[c+n]+s.z[c])*
+				(s.cu[c+n+1]+s.cu[c+1]+s.cu[c]+s.cu[c+n]) - tdtsdy*(s.h[c+1]-s.h[c])
+			s.pnew[c] = s.pold[c] - tdtsdx*(s.cu[c+n]-s.cu[c]) - tdtsdy*(s.cv[c+1]-s.cv[c])
+			pts++
+		}
+	}
+	return pts
+}
+
+// loop300 applies time smoothing to rows [rlo,rhi) — pointwise, no halo.
+func (s *state) loop300(rlo, rhi int) int {
+	n := s.n
+	pts := 0
+	for i := rlo; i < rhi; i++ {
+		for j := 0; j < n; j++ {
+			c := i*n + j
+			s.uold[c] = s.u[c] + alpha*(s.unew[c]-2*s.u[c]+s.uold[c])
+			s.vold[c] = s.v[c] + alpha*(s.vnew[c]-2*s.v[c]+s.vold[c])
+			s.pold[c] = s.p[c] + alpha*(s.pnew[c]-2*s.p[c]+s.pold[c])
+			s.u[c] = s.unew[c]
+			s.v[c] = s.vnew[c]
+			s.p[c] = s.pnew[c]
+			pts++
+		}
+	}
+	return pts
+}
+
+// wrapCols wraps the strided edge (column n-1 ← column 0) for rows
+// [rlo,rhi) of the given arrays — the parallelized half of the
+// wrap-around copying.
+func wrapCols(arrs [][]float32, n, rlo, rhi int) int {
+	pts := 0
+	for _, a := range arrs {
+		for i := rlo; i < rhi; i++ {
+			a[i*n+n-1] = a[i*n]
+			pts++
+		}
+	}
+	return pts
+}
+
+// wrapRow wraps the contiguous edge (row n-1 ← row 0) — the sequential
+// half.
+func wrapRow(a []float32, n int) int {
+	copy(a[(n-1)*n:n*n], a[0:n])
+	return n
+}
+
+func (s *state) checksum() float64 {
+	return apputil.Sum64(s.p) + 2*apputil.Sum64(s.u) + 4*apputil.Sum64(s.v)
+}
+
+// groupA and groupB are the arrays wrapped after loops 100 and 200.
+func (s *state) groupA() [][]float32 { return [][]float32{s.cu, s.cv, s.z, s.h} }
+func (s *state) groupB() [][]float32 { return [][]float32{s.unew, s.vnew, s.pnew} }
+
+func runSeq(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunSeq("Shallow", cfg, func(tm *tmk.Tmk) apputil.SeqProgram {
+		s := newLocalState(n)
+		s.init()
+		return apputil.SeqProgram{
+			Iterate: func(k int) {
+				pts := s.loop100(0, n-1)
+				w := wrapCols(s.groupA(), n, 0, n-1)
+				for _, a := range s.groupA() {
+					w += wrapRow(a, n)
+				}
+				tm.Advance(apputil.Cost(pts*4, cfg.App.ShallowUpdate) + apputil.Cost(w, cfg.App.ShallowCopy))
+				pts = s.loop200(0, n-1)
+				w = wrapCols(s.groupB(), n, 0, n-1)
+				for _, a := range s.groupB() {
+					w += wrapRow(a, n)
+				}
+				tm.Advance(apputil.Cost(pts*3, cfg.App.ShallowUpdate) + apputil.Cost(w, cfg.App.ShallowCopy))
+				pts = s.loop300(0, n)
+				tm.Advance(apputil.Cost(pts*6, cfg.App.ShallowCopy))
+			},
+			Checksum: func() float64 { return s.checksum() },
+		}
+	})
+}
+
+func newLocalState(n int) *state {
+	s := &state{n: n}
+	for _, f := range []*[]float32{&s.u, &s.v, &s.p, &s.uold, &s.vold, &s.pold,
+		&s.unew, &s.vnew, &s.pnew, &s.cu, &s.cv, &s.z, &s.h} {
+		*f = make([]float32, n*n)
+	}
+	return s
+}
+
+// sharedState allocates the 13 arrays as shared regions and exposes the
+// same kernels through a state whose slices are the region backings.
+type sharedState struct {
+	*state
+	regs map[string]*tmk.Region[float32]
+}
+
+func newSharedState(tm *tmk.Tmk, n int) *sharedState {
+	s := &state{n: n}
+	ss := &sharedState{state: s, regs: map[string]*tmk.Region[float32]{}}
+	names := []string{"u", "v", "p", "uold", "vold", "pold", "unew", "vnew", "pnew", "cu", "cv", "z", "h"}
+	ptrs := []*[]float32{&s.u, &s.v, &s.p, &s.uold, &s.vold, &s.pold,
+		&s.unew, &s.vnew, &s.pnew, &s.cu, &s.cv, &s.z, &s.h}
+	for i, name := range names {
+		r := tmk.Alloc[float32](tm, "shallow."+name, n*n)
+		ss.regs[name] = r
+		*ptrs[i] = r.Data()
+	}
+	return ss
+}
+
+func (ss *sharedState) reg(name string) *tmk.Region[float32] { return ss.regs[name] }
+
+// validatePhase1 performs the access checks for loop100 over rows
+// [rlo,rhi): read p,u,v rows [rlo,rhi+1), write cu,cv,z,h rows [rlo,rhi).
+func (ss *sharedState) validatePhase1(rlo, rhi int, agg bool) {
+	n := ss.n
+	for _, in := range []string{"p", "u", "v"} {
+		if agg {
+			ss.reg(in).ReadAggregated(rlo*n, (rhi+1)*n)
+		} else {
+			ss.reg(in).Read(rlo*n, (rhi+1)*n)
+		}
+	}
+	for _, out := range []string{"cu", "cv", "z", "h"} {
+		ss.reg(out).Write(rlo*n, rhi*n)
+	}
+}
+
+// validatePhase2: read cu,cv,z,h rows [rlo,rhi+1) and old rows [rlo,rhi);
+// write new rows [rlo,rhi).
+func (ss *sharedState) validatePhase2(rlo, rhi int, agg bool) {
+	n := ss.n
+	for _, in := range []string{"cu", "cv", "z", "h"} {
+		if agg {
+			ss.reg(in).ReadAggregated(rlo*n, (rhi+1)*n)
+		} else {
+			ss.reg(in).Read(rlo*n, (rhi+1)*n)
+		}
+	}
+	for _, in := range []string{"uold", "vold", "pold"} {
+		ss.reg(in).Read(rlo*n, rhi*n)
+	}
+	for _, out := range []string{"unew", "vnew", "pnew"} {
+		ss.reg(out).Write(rlo*n, rhi*n)
+	}
+}
+
+// validatePhase3: pointwise over rows [rlo,rhi): read new, read+write
+// u,v,p and old.
+func (ss *sharedState) validatePhase3(rlo, rhi int) {
+	n := ss.n
+	for _, in := range []string{"unew", "vnew", "pnew"} {
+		ss.reg(in).Read(rlo*n, rhi*n)
+	}
+	for _, io := range []string{"u", "v", "p", "uold", "vold", "pold"} {
+		ss.reg(io).Write(rlo*n, rhi*n)
+	}
+}
+
+// validateWrapCols write-validates column n-1 in rows [rlo,rhi) (the
+// rows are typically already writable from the producing loop).
+func (ss *sharedState) validateWrapCols(names []string, rlo, rhi int) {
+	n := ss.n
+	for _, name := range names {
+		ss.reg(name).Write(rlo*n, rhi*n)
+	}
+}
+
+// wrapRowShared performs the contiguous edge copy through the DSM: read
+// row 0, write row n-1. Executed by one processor (the owner in the
+// hand-coded version, the master under SPF).
+func (ss *sharedState) wrapRowShared(names []string) int {
+	n := ss.n
+	w := 0
+	for _, name := range names {
+		r := ss.reg(name)
+		r.Read(0, n)
+		dst := r.Write((n-1)*n, n*n)
+		copy(dst[(n-1)*n:n*n], dst[0:n])
+		w += n
+	}
+	return w
+}
+
+var groupANames = []string{"cu", "cv", "z", "h"}
+var groupBNames = []string{"unew", "vnew", "pnew"}
+
+func runTmk(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunTmk("Shallow", core.Tmk, cfg, func(tm *tmk.Tmk) apputil.TmkProgram {
+		me, nprocs := tm.ID(), tm.NProcs()
+		ss := newSharedState(tm, n)
+		rlo, rhi := apputil.BlockOf(me, nprocs, n-1)
+		isLast := me == nprocs-1
+		if me == 0 {
+			for _, name := range []string{"u", "v", "p", "uold", "vold", "pold"} {
+				ss.reg(name).Write(0, n*n)
+			}
+			ss.init()
+		}
+		tm.Barrier()
+		adv := func(d sim.Time) { tm.Advance(d) }
+		return apputil.TmkProgram{
+			Iterate: func(k int) {
+				stepTmk(ss, adv, cfg, rlo, rhi, isLast, tm.Barrier)
+			},
+			Checksum: func() float64 {
+				ss.reg("p").Read(0, n*n)
+				ss.reg("u").Read(0, n*n)
+				ss.reg("v").Read(0, n*n)
+				return ss.checksum()
+			},
+		}
+	})
+}
+
+// stepTmk is one hand-coded TreadMarks iteration: three barriers. The
+// contiguous edge copy runs on the owner of the last row at the *start*
+// of the phase that consumes it — after the barrier that orders it
+// against processor 0's writes of row 0 (the hand coder's owner-computes
+// placement the paper credits the Tmk version with).
+func stepTmk(ss *sharedState, adv func(sim.Time), cfg core.Config, rlo, rhi int, isLast bool, barrier func()) {
+	n := ss.n
+	if rhi > rlo {
+		ss.validatePhase1(rlo, rhi, false)
+		pts := ss.loop100(rlo, rhi)
+		w := wrapCols(ss.groupA(), n, rlo, rhi)
+		adv(apputil.Cost(pts*4, cfg.App.ShallowUpdate) + apputil.Cost(w, cfg.App.ShallowCopy))
+	}
+	barrier()
+	if isLast {
+		w := ss.wrapRowShared(groupANames)
+		adv(apputil.Cost(w, cfg.App.ShallowCopy))
+	}
+	if rhi > rlo {
+		ss.validatePhase2(rlo, rhi, false)
+		pts := ss.loop200(rlo, rhi)
+		w := wrapCols(ss.groupB(), n, rlo, rhi)
+		adv(apputil.Cost(pts*3, cfg.App.ShallowUpdate) + apputil.Cost(w, cfg.App.ShallowCopy))
+	}
+	barrier()
+	hi3 := rhi
+	if isLast {
+		w := ss.wrapRowShared(groupBNames)
+		adv(apputil.Cost(w, cfg.App.ShallowCopy))
+		hi3 = n // smoothing covers the wrap row too
+	}
+	if hi3 > rlo {
+		ss.validatePhase3(rlo, hi3)
+		pts := ss.loop300(rlo, hi3)
+		adv(apputil.Cost(pts*6, cfg.App.ShallowCopy))
+	}
+	barrier()
+}
+
+func runSPF(cfg core.Config, merged bool) (core.Result, error) {
+	n := cfg.N1
+	v := core.SPF
+	if merged {
+		v = core.SPFOpt
+	}
+	return apputil.RunSPF("Shallow", v, cfg, spf.Options{}, func(rt *spf.Runtime) apputil.SPFProgram {
+		tm := rt.Tmk()
+		ss := newSharedState(tm, n)
+		adv := func(d sim.Time) { rt.Advance(d) }
+
+		phase1 := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			ss.validatePhase1(lo, hi, merged)
+			pts := ss.loop100(lo, hi)
+			adv(apputil.Cost(pts*4, cfg.App.ShallowUpdate))
+			if merged { // §5.2: the wrap loop is merged into the main loop
+				ss.validateWrapCols(groupANames, lo, hi)
+				w := wrapCols(ss.groupA(), n, lo, hi)
+				adv(apputil.Cost(w, cfg.App.ShallowCopy))
+			}
+		})
+		wrapA := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			ss.validateWrapCols(groupANames, lo, hi)
+			w := wrapCols(ss.groupA(), n, lo, hi)
+			adv(apputil.Cost(w, cfg.App.ShallowCopy))
+		})
+		phase2 := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			ss.validatePhase2(lo, hi, merged)
+			pts := ss.loop200(lo, hi)
+			adv(apputil.Cost(pts*3, cfg.App.ShallowUpdate))
+			if merged {
+				ss.validateWrapCols(groupBNames, lo, hi)
+				w := wrapCols(ss.groupB(), n, lo, hi)
+				adv(apputil.Cost(w, cfg.App.ShallowCopy))
+			}
+		})
+		wrapB := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			ss.validateWrapCols(groupBNames, lo, hi)
+			w := wrapCols(ss.groupB(), n, lo, hi)
+			adv(apputil.Cost(w, cfg.App.ShallowCopy))
+		})
+		phase3 := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+			if hi <= lo {
+				return
+			}
+			ss.validatePhase3(lo, hi)
+			pts := ss.loop300(lo, hi)
+			adv(apputil.Cost(pts*6, cfg.App.ShallowCopy))
+		})
+
+		if rt.IsMaster() {
+			for _, name := range []string{"u", "v", "p", "uold", "vold", "pold"} {
+				ss.reg(name).Write(0, n*n)
+			}
+			ss.init()
+		}
+		return apputil.SPFProgram{
+			IterateMaster: func(k int) {
+				rt.ParallelDo(phase1, 0, n-1, spf.Block)
+				if !merged {
+					rt.ParallelDo(wrapA, 0, n-1, spf.Block)
+				}
+				// Sequential part: the contiguous edge copy on the master
+				// (regardless of the owner-computes rule — §5.2's penalty).
+				w := ss.wrapRowShared(groupANames)
+				adv(apputil.Cost(w, cfg.App.ShallowCopy))
+				rt.ParallelDo(phase2, 0, n-1, spf.Block)
+				if !merged {
+					rt.ParallelDo(wrapB, 0, n-1, spf.Block)
+				}
+				w = ss.wrapRowShared(groupBNames)
+				adv(apputil.Cost(w, cfg.App.ShallowCopy))
+				rt.ParallelDo(phase3, 0, n, spf.Block)
+			},
+			Checksum: func() float64 {
+				ss.reg("p").Read(0, n*n)
+				ss.reg("u").Read(0, n*n)
+				ss.reg("v").Read(0, n*n)
+				return ss.checksum()
+			},
+		}
+	})
+}
+
+func runXHPF(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunXHPF("Shallow", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+		me, nprocs := x.ID(), x.NProcs()
+		s := newLocalState(n)
+		s.init()
+		rlo, rhi := apputil.BlockOf(me, nprocs, n-1)
+		isLast := me == nprocs-1
+		last := nprocs - 1
+		// haloDown receives row rhi from the next processor (which owns
+		// it); generated from the analyzable forward stencil.
+		haloDown := func(arrs ...[]float32) {
+			for t, a := range arrs {
+				if me > 0 && rlo < rhi {
+					pvm.Send(x.PVM(), me-1, 700+t, a[rlo*n:(rlo+1)*n])
+				}
+				if me < last && rhi > rlo {
+					pvm.Recv(x.PVM(), me+1, 700+t, a[rhi*n:(rhi+1)*n])
+				}
+			}
+		}
+		// wrapRowComm: processor 0 sends row 0 to the owner of row n-1.
+		wrapRowComm := func(arrs ...[]float32) int {
+			w := 0
+			for t, a := range arrs {
+				if me == 0 && last != 0 {
+					pvm.Send(x.PVM(), last, 720+t, a[0:n])
+				}
+				if isLast {
+					if last != 0 {
+						pvm.Recv(x.PVM(), 0, 720+t, a[0:n])
+					}
+					w += wrapRow(a, n)
+				}
+			}
+			return w
+		}
+		adv := func(d sim.Time) { x.Advance(d) }
+		return apputil.XHPFProgram{
+			Iterate: func(k int) {
+				haloDown(s.p, s.u, s.v)
+				if rhi > rlo {
+					pts := s.loop100(rlo, rhi)
+					w := wrapCols(s.groupA(), n, rlo, rhi)
+					adv(apputil.Cost(pts*4, cfg.App.ShallowUpdate) + apputil.Cost(w, cfg.App.ShallowCopy))
+				}
+				adv(apputil.Cost(wrapRowComm(s.groupA()...), cfg.App.ShallowCopy))
+				x.LoopSync()
+				haloDown(s.cu, s.cv, s.z, s.h)
+				if rhi > rlo {
+					pts := s.loop200(rlo, rhi)
+					w := wrapCols(s.groupB(), n, rlo, rhi)
+					adv(apputil.Cost(pts*3, cfg.App.ShallowUpdate) + apputil.Cost(w, cfg.App.ShallowCopy))
+				}
+				adv(apputil.Cost(wrapRowComm(s.groupB()...), cfg.App.ShallowCopy))
+				x.LoopSync()
+				hi3 := rhi
+				if isLast {
+					hi3 = n
+				}
+				if hi3 > rlo {
+					pts := s.loop300(rlo, hi3)
+					adv(apputil.Cost(pts*6, cfg.App.ShallowCopy))
+				}
+				x.LoopSync()
+			},
+			Checksum: func() float64 {
+				for _, a := range [][]float32{s.p, s.u, s.v} {
+					gatherRows(x.PVM(), a, n, rlo, rhi, isLast)
+				}
+				if me != 0 {
+					return 0
+				}
+				return s.checksum()
+			},
+		}
+	})
+}
+
+func runPVM(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunPVM("Shallow", core.PVMe, cfg, func(pv *pvm.PVM) apputil.PVMProgram {
+		me, nprocs := pv.ID(), pv.NProcs()
+		s := newLocalState(n)
+		s.init()
+		rlo, rhi := apputil.BlockOf(me, nprocs, n-1)
+		isLast := me == nprocs-1
+		last := nprocs - 1
+		haloDown := func(arrs ...[]float32) {
+			for t, a := range arrs {
+				if me > 0 && rlo < rhi {
+					pvm.Send(pv, me-1, 740+t, a[rlo*n:(rlo+1)*n])
+				}
+				if me < last && rhi > rlo {
+					pvm.Recv(pv, me+1, 740+t, a[rhi*n:(rhi+1)*n])
+				}
+			}
+		}
+		wrapRowComm := func(arrs ...[]float32) int {
+			w := 0
+			for t, a := range arrs {
+				if me == 0 && last != 0 {
+					pvm.Send(pv, last, 760+t, a[0:n])
+				}
+				if isLast {
+					if last != 0 {
+						pvm.Recv(pv, 0, 760+t, a[0:n])
+					}
+					w += wrapRow(a, n)
+				}
+			}
+			return w
+		}
+		adv := func(d sim.Time) { pv.Advance(d) }
+		return apputil.PVMProgram{
+			Iterate: func(k int) {
+				haloDown(s.p, s.u, s.v)
+				if rhi > rlo {
+					pts := s.loop100(rlo, rhi)
+					w := wrapCols(s.groupA(), n, rlo, rhi)
+					adv(apputil.Cost(pts*4, cfg.App.ShallowUpdate) + apputil.Cost(w, cfg.App.ShallowCopy))
+				}
+				adv(apputil.Cost(wrapRowComm(s.groupA()...), cfg.App.ShallowCopy))
+				haloDown(s.cu, s.cv, s.z, s.h)
+				if rhi > rlo {
+					pts := s.loop200(rlo, rhi)
+					w := wrapCols(s.groupB(), n, rlo, rhi)
+					adv(apputil.Cost(pts*3, cfg.App.ShallowUpdate) + apputil.Cost(w, cfg.App.ShallowCopy))
+				}
+				adv(apputil.Cost(wrapRowComm(s.groupB()...), cfg.App.ShallowCopy))
+				hi3 := rhi
+				if isLast {
+					hi3 = n
+				}
+				if hi3 > rlo {
+					pts := s.loop300(rlo, hi3)
+					adv(apputil.Cost(pts*6, cfg.App.ShallowCopy))
+				}
+			},
+			Checksum: func() float64 {
+				for _, a := range [][]float32{s.p, s.u, s.v} {
+					gatherRows(pv, a, n, rlo, rhi, isLast)
+				}
+				if me != 0 {
+					return 0
+				}
+				return s.checksum()
+			},
+		}
+	})
+}
+
+// gatherRows collects row blocks (plus the wrap row from the last
+// processor) on task 0, untracked.
+func gatherRows(pv *pvm.PVM, a []float32, n, rlo, rhi int, isLast bool) {
+	me, nprocs := pv.ID(), pv.NProcs()
+	if me == 0 {
+		for q := 1; q < nprocs; q++ {
+			qlo, qhi := apputil.BlockOf(q, nprocs, n-1)
+			if q == nprocs-1 {
+				qhi = n
+			}
+			if qhi > qlo {
+				pvm.RecvUntracked(pv, q, 780, a[qlo*n:qhi*n])
+			}
+		}
+		return
+	}
+	hi := rhi
+	if isLast {
+		hi = n
+	}
+	if hi > rlo {
+		pvm.SendUntracked(pv, 0, 780, a[rlo*n:hi*n])
+	}
+}

@@ -1,0 +1,189 @@
+// Package core is the evaluation framework of the reproduction — the
+// paper's primary contribution is the head-to-head comparison of four
+// ways to run the same program on a message-passing machine:
+//
+//	SPF   compiler-generated shared memory on TreadMarks
+//	Tmk   hand-coded shared memory on TreadMarks
+//	XHPF  compiler-generated message passing
+//	PVMe  hand-coded message passing
+//
+// plus the hand-optimized variants of §5. This package defines the
+// version vocabulary, run configuration, results, and the timed-region
+// bookkeeping shared by all application implementations (the paper
+// excludes the first iteration from measurement; so do we).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Version names one implementation strategy of an application.
+type Version string
+
+const (
+	// Seq is the sequential baseline: the TreadMarks program with all
+	// synchronization removed, run on one processor (paper §3).
+	Seq Version = "seq"
+	// SPF is compiler-generated shared memory (Forge SPF → TreadMarks).
+	SPF Version = "spf"
+	// Tmk is hand-coded shared memory on TreadMarks.
+	Tmk Version = "tmk"
+	// XHPF is compiler-generated message passing (Forge XHPF).
+	XHPF Version = "xhpf"
+	// PVMe is hand-coded message passing.
+	PVMe Version = "pvme"
+	// SPFOpt is the hand-optimized SPF version of §5 (aggregation,
+	// merged loops — whichever optimization the paper applied).
+	SPFOpt Version = "spf-opt"
+	// TmkOpt is the hand-optimized TreadMarks version where the paper
+	// reports one (MGS's merged broadcast).
+	TmkOpt Version = "tmk-opt"
+	// SPFOld is SPF under the original §2.3 compiler-runtime interface
+	// (8(n-1) messages per loop); used by the interface ablation.
+	SPFOld Version = "spf-old"
+	// TmkPush replaces the default request-response page fetching with
+	// §8's push: producers ship boundary diffs with the barrier, so
+	// consumers never fault.
+	TmkPush Version = "tmk-push"
+)
+
+// Config carries a run's parameters. The per-application meaning of N1,
+// N2, N3 is documented by each application package.
+type Config struct {
+	Procs  int
+	N1     int
+	N2     int
+	N3     int
+	Iters  int // timed iterations
+	Warmup int // untimed leading iterations (paper: 1)
+	Costs  model.Costs
+	App    model.AppCosts
+}
+
+// Result is the outcome of one (application, version, procs) run.
+type Result struct {
+	App      string
+	Version  Version
+	Procs    int
+	Time     sim.Time // elapsed virtual time of the timed region
+	Stats    stats.Stats
+	Checksum float64
+
+	// Overhead attribution summed over application processes (DSM
+	// versions only): time in page repair, synchronization and write
+	// detection — the decomposition of the paper's §5/§6 analysis.
+	FaultTime, SyncTime, WriteTime sim.Time
+}
+
+// Speedup computes seqTime / r.Time.
+func (r Result) Speedup(seqTime sim.Time) float64 {
+	if r.Time == 0 {
+		return 0
+	}
+	return float64(seqTime) / float64(r.Time)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s p=%d t=%v msgs=%d kb=%d sum=%g",
+		r.App, r.Version, r.Procs, r.Time, r.Stats.TotalMsgs(), r.Stats.TotalKB(), r.Checksum)
+}
+
+// App is the interface every application package satisfies through a
+// small adapter in the harness.
+type App interface {
+	// Name returns the application name as the paper uses it.
+	Name() string
+	// PaperConfig returns the paper's data-set size (Table 1).
+	PaperConfig(procs int) Config
+	// SmallConfig returns a fast configuration for tests and -short runs.
+	SmallConfig(procs int) Config
+	// Versions lists the supported versions.
+	Versions() []Version
+	// Run executes one version.
+	Run(v Version, cfg Config) (Result, error)
+}
+
+// Region tracks the timed region of a parallel run: per-process start
+// and end clocks plus a baseline traffic snapshot. The measurement
+// protocol (all versions):
+//
+//	warmup iterations
+//	barrier                      ← all warm-up work quiesced
+//	proc 0: reg.Baseline(stats)  ← nothing timed can have run yet
+//	barrier                      ← nobody starts until baseline is taken
+//	per proc: reg.Start(id, now)
+//	timed iterations
+//	final barrier
+//	per proc: reg.End(id, now)
+//	proc 0: reg.Final(stats)
+//
+// Because the simulator executes one process at a time in virtual-time
+// order, and a process can pass the second barrier only after process 0
+// (the barrier manager) has taken the baseline, the snapshot cleanly
+// separates warm-up traffic from timed traffic.
+type Region struct {
+	start, end []sim.Time
+	base, last stats.Stats
+	haveBase   bool
+}
+
+// NewRegion prepares bookkeeping for nprocs processes.
+func NewRegion(nprocs int) *Region {
+	return &Region{
+		start: make([]sim.Time, nprocs),
+		end:   make([]sim.Time, nprocs),
+	}
+}
+
+// Baseline snapshots traffic at the end of warm-up (process 0 only,
+// between the two boundary barriers).
+func (r *Region) Baseline(st *stats.Stats) {
+	r.base = *st
+	r.haveBase = true
+}
+
+// Start records a process's clock at the beginning of the timed region.
+func (r *Region) Start(id int, now sim.Time) { r.start[id] = now }
+
+// End records a process's clock at the end of the timed region.
+func (r *Region) End(id int, now sim.Time) { r.end[id] = now }
+
+// Final snapshots traffic at the end of the timed region (process 0,
+// after the final barrier, before any untimed postlude like checksums).
+func (r *Region) Final(st *stats.Stats) { r.last = *st }
+
+// Elapsed returns the timed-region wall time: latest end minus earliest
+// start.
+func (r *Region) Elapsed() sim.Time {
+	var lo, hi sim.Time
+	lo = sim.Forever
+	for i := range r.start {
+		if r.start[i] < lo {
+			lo = r.start[i]
+		}
+		if r.end[i] > hi {
+			hi = r.end[i]
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Traffic returns the messages and bytes recorded during the timed
+// region.
+func (r *Region) Traffic() stats.Stats {
+	out := r.last
+	if r.haveBase {
+		for k := stats.Kind(0); int(k) < stats.NumKinds(); k++ {
+			out.Msgs[k] -= r.base.Msgs[k]
+			out.Bytes[k] -= r.base.Bytes[k]
+		}
+	}
+	return out
+}

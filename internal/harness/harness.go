@@ -1,0 +1,380 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/apps/fft3d"
+	"repro/internal/apps/igrid"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/mgs"
+	"repro/internal/apps/nbf"
+	"repro/internal/apps/shallow"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Apps returns the six applications in the paper's order.
+func Apps() []core.App {
+	return []core.App{
+		jacobi.New(), shallow.New(), mgs.New(), fft3d.New(),
+		igrid.New(), nbf.New(),
+	}
+}
+
+// AppByName finds an application.
+func AppByName(name string) (core.App, error) {
+	for _, a := range Apps() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown application %q", name)
+}
+
+// Scale selects the problem sizes.
+type Scale string
+
+const (
+	// PaperScale runs Table 1's data sets.
+	PaperScale Scale = "paper"
+	// MidScale runs reduced sizes that preserve the page-granularity
+	// regime (rows/vectors of at least a page) at a fraction of the time.
+	MidScale Scale = "mid"
+	// SmallScale runs the tiny test sizes.
+	SmallScale Scale = "small"
+)
+
+// Runner executes and caches application runs.
+type Runner struct {
+	Procs int
+	Scale Scale
+	Costs model.Costs
+	App   model.AppCosts
+	cache map[string]core.Result
+}
+
+// NewRunner builds a Runner with the calibrated SP/2 model.
+func NewRunner(procs int, scale Scale) *Runner {
+	return &Runner{
+		Procs: procs,
+		Scale: scale,
+		Costs: model.SP2(),
+		App:   model.DefaultAppCosts(),
+		cache: map[string]core.Result{},
+	}
+}
+
+// Config resolves the run configuration for an application.
+func (r *Runner) Config(app core.App, procs int) core.Config {
+	var cfg core.Config
+	switch r.Scale {
+	case SmallScale:
+		cfg = app.SmallConfig(procs)
+	case MidScale:
+		cfg = app.PaperConfig(procs)
+		switch app.Name() {
+		case "Jacobi":
+			cfg.N1, cfg.Iters = 1024, 20
+		case "Shallow":
+			cfg.N1, cfg.Iters = 512, 10
+		case "MGS":
+			// MGS must keep the paper's vector-equals-page geometry: at
+			// any narrower width two cyclically owned vectors share a page
+			// and false sharing swamps the comparison.
+			cfg.N1, cfg.Iters = 1024, 1024
+		case "3-D FFT":
+			cfg.N1, cfg.N2, cfg.N3, cfg.Iters = 64, 64, 32, 3
+		case "IGrid":
+			cfg.N1, cfg.Iters = 500, 10
+		case "NBF":
+			cfg.N1, cfg.N2, cfg.N3, cfg.Iters = 8192, 256, 50, 8
+		}
+	default:
+		cfg = app.PaperConfig(procs)
+	}
+	cfg.Costs = r.Costs
+	cfg.App = r.App
+	return cfg
+}
+
+// Run executes (and caches) one version of an application.
+func (r *Runner) Run(app core.App, v core.Version) (core.Result, error) {
+	procs := r.Procs
+	if v == core.Seq {
+		procs = 1
+	}
+	key := fmt.Sprintf("%s/%s/%d/%s", app.Name(), v, procs, r.Scale)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	res, err := app.Run(v, r.Config(app, procs))
+	if err != nil {
+		return core.Result{}, fmt.Errorf("%s/%s: %w", app.Name(), v, err)
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// Speedup runs the version and its sequential baseline.
+func (r *Runner) Speedup(app core.App, v core.Version) (float64, error) {
+	seq, err := r.Run(app, core.Seq)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.Run(app, v)
+	if err != nil {
+		return 0, err
+	}
+	return res.Speedup(seq.Time), nil
+}
+
+func scaleNote(s Scale) string {
+	if s == PaperScale {
+		return ""
+	}
+	return fmt.Sprintf(" [%s scale: absolute counts are not comparable to the paper's; rankings are]", s)
+}
+
+// Table1 prints data-set sizes and sequential times (paper Table 1).
+func Table1(w io.Writer, r *Runner) error {
+	fmt.Fprintf(w, "Table 1: Data Set Sizes and Sequential Execution Time%s\n", scaleNote(r.Scale))
+	fmt.Fprintf(w, "%-9s | %-28s | %10s | %10s\n", "App", "Problem Size", "paper (s)", "meas (s)")
+	fmt.Fprintln(w, "----------------------------------------------------------------------")
+	for _, a := range Apps() {
+		seq, err := r.Run(a, core.Seq)
+		if err != nil {
+			return err
+		}
+		note := ""
+		if SeqEstimated[a.Name()] {
+			note = "*"
+		}
+		fmt.Fprintf(w, "%-9s | %-28s | %9.1f%1s | %10.1f\n",
+			a.Name(), PaperDataSet[a.Name()], PaperSeqSeconds[a.Name()], note, seq.Time.Seconds())
+	}
+	fmt.Fprintln(w, "(*) illegible in our source text of the paper; estimated (DESIGN.md)")
+	return nil
+}
+
+func figure(w io.Writer, r *Runner, title string, apps []string) error {
+	fmt.Fprintf(w, "%s%s\n", title, scaleNote(r.Scale))
+	fmt.Fprintf(w, "%-9s |", "App")
+	for _, v := range FigureVersions {
+		fmt.Fprintf(w, " %6s(p) %6s(m) |", v, v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "---------------------------------------------------------------------------------------------------")
+	for _, name := range apps {
+		a, err := AppByName(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-9s |", name)
+		for _, v := range FigureVersions {
+			sp, err := r.Speedup(a, v)
+			if err != nil {
+				return err
+			}
+			paper := PaperSpeedup[name][v]
+			if paper == 0 {
+				fmt.Fprintf(w, " %9s %6.2f    |", "-", sp)
+			} else {
+				fmt.Fprintf(w, " %9.2f %6.2f    |", paper, sp)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure1 prints 8-processor speedups for the regular applications.
+func Figure1(w io.Writer, r *Runner) error {
+	return figure(w, r, "Figure 1: Speedups, regular applications (paper vs measured)", RegularApps)
+}
+
+// Figure2 prints 8-processor speedups for the irregular applications.
+func Figure2(w io.Writer, r *Runner) error {
+	return figure(w, r, "Figure 2: Speedups, irregular applications (paper vs measured)", IrregularApps)
+}
+
+func traffic(w io.Writer, r *Runner, title string, apps []string) error {
+	fmt.Fprintf(w, "%s%s\n", title, scaleNote(r.Scale))
+	fmt.Fprintf(w, "%-9s %-5s |", "App", "")
+	for _, v := range FigureVersions {
+		fmt.Fprintf(w, " %8s(p) %8s(m) |", v, v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "-----------------------------------------------------------------------------------------------------------")
+	for _, name := range apps {
+		a, err := AppByName(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-9s %-5s |", name, "msgs")
+		for _, v := range FigureVersions {
+			res, err := r.Run(a, v)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %11d %11d |", PaperMsgs[name][v], res.Stats.TotalMsgs())
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-9s %-5s |", "", "KB")
+		for _, v := range FigureVersions {
+			res, err := r.Run(a, v)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %11d %11d |", PaperKB[name][v], res.Stats.TotalKB())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table2 prints message and data totals for the regular applications.
+func Table2(w io.Writer, r *Runner) error {
+	return traffic(w, r, "Table 2: Message totals and data totals (KB), regular applications", RegularApps)
+}
+
+// Table3 prints message and data totals for the irregular applications.
+func Table3(w io.Writer, r *Runner) error {
+	return traffic(w, r, "Table 3: Message totals and data totals (KB), irregular applications", IrregularApps)
+}
+
+// handOptCase describes one §5 hand-optimization experiment.
+type handOptCase struct {
+	app      string
+	baseline core.Version
+	opt      core.Version
+	paperTo  float64
+	note     string
+}
+
+var handOptCases = []handOptCase{
+	{"Jacobi", core.SPF, core.SPFOpt, 7.23, "data aggregation (§5.1)"},
+	{"Shallow", core.SPF, core.SPFOpt, 5.96, "merged loops + aggregation (§5.2)"},
+	{"MGS", core.Tmk, core.TmkOpt, 5.09, "merged sync+data broadcast (§5.3)"},
+	{"3-D FFT", core.SPF, core.SPFOpt, 5.05, "data aggregation (§5.4)"},
+}
+
+// HandOpt prints the §5 hand-optimization results.
+func HandOpt(w io.Writer, r *Runner) error {
+	fmt.Fprintf(w, "Section 5 hand optimizations (paper vs measured speedup)%s\n", scaleNote(r.Scale))
+	fmt.Fprintf(w, "%-9s | %-34s | %19s | %19s\n", "App", "Optimization", "before (p)    (m)", "after (p)    (m)")
+	fmt.Fprintln(w, "---------------------------------------------------------------------------------------------")
+	for _, c := range handOptCases {
+		a, err := AppByName(c.app)
+		if err != nil {
+			return err
+		}
+		before, err := r.Speedup(a, c.baseline)
+		if err != nil {
+			return err
+		}
+		after, err := r.Speedup(a, c.opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-9s | %-34s | %8.2f %9.2f | %8.2f %9.2f\n",
+			c.app, c.note, PaperSpeedup[c.app][c.baseline], before, c.paperTo, after)
+	}
+	return nil
+}
+
+// Interface prints the §2.3 compiler-interface ablation: the improved
+// fork-join interface (2(n-1) messages per loop) against the original
+// (8(n-1)), measured on Jacobi.
+func Interface(w io.Writer, r *Runner) error {
+	fmt.Fprintf(w, "Section 2.3 interface ablation (Jacobi)%s\n", scaleNote(r.Scale))
+	a, err := AppByName("Jacobi")
+	if err != nil {
+		return err
+	}
+	improved, err := r.Run(a, core.SPF)
+	if err != nil {
+		return err
+	}
+	old, err := r.Run(a, core.SPFOld)
+	if err != nil {
+		return err
+	}
+	seq, err := r.Run(a, core.Seq)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-20s | %10s | %10s | %8s\n", "Interface", "msgs", "time (s)", "speedup")
+	fmt.Fprintln(w, "--------------------------------------------------------")
+	fmt.Fprintf(w, "%-20s | %10d | %10.2f | %8.2f\n", "original (8(n-1))", old.Stats.TotalMsgs(), old.Time.Seconds(), old.Speedup(seq.Time))
+	fmt.Fprintf(w, "%-20s | %10d | %10.2f | %8.2f\n", "improved (2(n-1))", improved.Stats.TotalMsgs(), improved.Time.Seconds(), improved.Speedup(seq.Time))
+	fmt.Fprintf(w, "paper: the improvement cuts fork-join messages 4x and \"has a significant effect on execution time\"\n")
+	return nil
+}
+
+// BarrierReduction prints the §8 barrier-merged reduction ablation on
+// IGrid-style reductions (extension feature).
+func BarrierReduction(w io.Writer, r *Runner) error {
+	fmt.Fprintf(w, "Section 8 extension: reductions through barriers vs locks%s\n", scaleNote(r.Scale))
+	fmt.Fprintln(w, "(see BenchmarkSection8BarrierReduce in bench_test.go for the microbenchmark)")
+	return nil
+}
+
+// All runs every experiment in paper order.
+func All(w io.Writer, r *Runner) error {
+	steps := []func(io.Writer, *Runner) error{
+		Table1, Figure1, Table2, Figure2, Table3, HandOpt, Interface,
+	}
+	for i, f := range steps {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := f(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CachedKeys lists completed runs (for progress reporting).
+func (r *Runner) CachedKeys() []string {
+	keys := make([]string, 0, len(r.cache))
+	for k := range r.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Scalability sweeps the processor count for one application and prints
+// the speedup curve of every version — the paper's §8 closes by
+// anticipating behaviour "when scaling to a large number of processors";
+// this experiment extends the evaluation in that direction.
+func Scalability(w io.Writer, r *Runner, appName string, procCounts []int) error {
+	a, err := AppByName(appName)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Scalability: %s speedups by processor count%s\n", appName, scaleNote(r.Scale))
+	fmt.Fprintf(w, "%-6s |", "procs")
+	for _, v := range FigureVersions {
+		fmt.Fprintf(w, " %8s |", v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "--------------------------------------------------")
+	for _, p := range procCounts {
+		sub := NewRunner(p, r.Scale)
+		sub.Costs, sub.App = r.Costs, r.App
+		fmt.Fprintf(w, "%-6d |", p)
+		for _, v := range FigureVersions {
+			sp, err := sub.Speedup(a, v)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %8.2f |", sp)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAppsComplete(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 6 {
+		t.Fatalf("have %d applications, want 6", len(apps))
+	}
+	names := map[string]bool{}
+	for _, a := range apps {
+		names[a.Name()] = true
+	}
+	for _, want := range append(append([]string{}, RegularApps...), IrregularApps...) {
+		if !names[want] {
+			t.Errorf("missing application %q", want)
+		}
+	}
+}
+
+func TestPaperTablesCoverEveryAppAndVersion(t *testing.T) {
+	for _, name := range append(append([]string{}, RegularApps...), IrregularApps...) {
+		for _, v := range FigureVersions {
+			if _, ok := PaperMsgs[name][v]; !ok {
+				t.Errorf("PaperMsgs missing %s/%s", name, v)
+			}
+			if _, ok := PaperKB[name][v]; !ok {
+				t.Errorf("PaperKB missing %s/%s", name, v)
+			}
+		}
+		if _, ok := PaperSeqSeconds[name]; !ok {
+			t.Errorf("PaperSeqSeconds missing %s", name)
+		}
+	}
+}
+
+func TestAppByName(t *testing.T) {
+	if _, err := AppByName("Jacobi"); err != nil {
+		t.Error(err)
+	}
+	if _, err := AppByName("NoSuchApp"); err == nil {
+		t.Error("expected error for unknown app")
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := NewRunner(2, SmallScale)
+	a, _ := AppByName("Jacobi")
+	r1, err := r.Run(a, core.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := r.Run(a, core.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time != r2.Time {
+		t.Error("cache returned a different result")
+	}
+	if len(r.CachedKeys()) != 1 {
+		t.Errorf("cache has %d keys, want 1", len(r.CachedKeys()))
+	}
+}
+
+// TestAllExperimentsSmall drives every experiment end to end at the
+// small scale, checking the output mentions each application.
+func TestAllExperimentsSmall(t *testing.T) {
+	r := NewRunner(4, SmallScale)
+	var sb strings.Builder
+	if err := All(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"Jacobi", "Shallow", "MGS", "3-D FFT", "IGrid", "NBF",
+		"Table 1", "Figure 1", "Table 2", "Figure 2", "Table 3", "Section 5", "Section 2.3"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("experiment output missing %q", name)
+		}
+	}
+}
+
+// TestMidScaleRankingsHold runs the headline shape checks at mid scale:
+// message passing ahead on the regular applications, DSM far ahead of
+// XHPF on the irregular ones.
+func TestMidScaleRankingsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid scale takes tens of seconds")
+	}
+	r := NewRunner(8, MidScale)
+	for _, name := range RegularApps {
+		a, _ := AppByName(name)
+		spf, err := r.Speedup(a, core.SPF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pvme, err := r.Speedup(a, core.PVMe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pvme <= spf {
+			t.Errorf("%s: PVMe %.2f should beat SPF %.2f (regular apps)", name, pvme, spf)
+		}
+	}
+	for _, name := range IrregularApps {
+		a, _ := AppByName(name)
+		spf, err := r.Speedup(a, core.SPF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xhpf, err := r.Speedup(a, core.XHPF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spf <= xhpf {
+			t.Errorf("%s: SPF %.2f should beat XHPF %.2f (irregular apps)", name, spf, xhpf)
+		}
+	}
+}

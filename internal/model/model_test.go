@@ -1,0 +1,93 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSP2Sane(t *testing.T) {
+	c := SP2()
+	if c.Latency <= 0 || c.NanosPerByte <= 0 {
+		t.Fatal("interconnect costs must be positive")
+	}
+	if c.ReadFault <= 0 || c.HandlerWake <= 0 {
+		t.Fatal("DSM costs must be positive")
+	}
+	// A remote 4 KB page fetch must land in the millisecond class the
+	// mid-90s literature reports for SP/2-era software DSM.
+	fetch := c.ReadFault + c.SendOverhead + c.Latency +
+		sim.Time(float64(64)*c.NanosPerByte) + // request
+		c.HandlerWake + c.DiffCreateCost(PageSize) +
+		c.SendOverhead + c.Latency + sim.Time(float64(PageSize)*c.NanosPerByte) +
+		c.RecvOverhead + c.DiffApplyCost(PageSize)
+	if fetch < 500*sim.Microsecond || fetch > 5*sim.Millisecond {
+		t.Errorf("modeled page fetch = %v, want 0.5ms..5ms", fetch)
+	}
+}
+
+func TestSimConfig(t *testing.T) {
+	c := SP2()
+	cfg := c.SimConfig(16)
+	if cfg.Procs != 16 || cfg.Latency != c.Latency || cfg.HeaderBytes != c.HeaderBytes {
+		t.Errorf("SimConfig mismatch: %+v", cfg)
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	c := SP2()
+	if c.PackCost(0) != 0 || c.UnpackCost(0) != 0 || c.SectionCost(0) != 0 {
+		t.Error("zero bytes must cost zero")
+	}
+	if c.PackCost(1000) <= 0 {
+		t.Error("pack cost must be positive")
+	}
+	if c.DiffCreateCost(0) != c.DiffCreate {
+		t.Error("empty diff must cost the fixed scan only")
+	}
+	if c.DiffCreateCost(4096) <= c.DiffCreate {
+		t.Error("changed bytes must add cost")
+	}
+	if c.DiffApplyCost(100) <= c.DiffApply {
+		t.Error("apply per-byte cost missing")
+	}
+}
+
+func TestAppCostsPositive(t *testing.T) {
+	a := DefaultAppCosts()
+	for name, v := range map[string]sim.Time{
+		"JacobiUpdate": a.JacobiUpdate, "JacobiCopy": a.JacobiCopy,
+		"ShallowUpdate": a.ShallowUpdate, "ShallowCopy": a.ShallowCopy,
+		"MGSNormalize": a.MGSNormalize, "MGSOrtho": a.MGSOrtho,
+		"FFTButterfly": a.FFTButterfly, "FFTTouch": a.FFTTouch,
+		"IGridUpdate": a.IGridUpdate, "IGridReduce": a.IGridReduce,
+		"NBFPair": a.NBFPair, "NBFUpdate": a.NBFUpdate,
+	} {
+		if v <= 0 {
+			t.Errorf("%s must be positive", name)
+		}
+	}
+}
+
+// TestTable1Calibration verifies the per-application element costs put
+// the sequential virtual times in the right neighborhood of Table 1
+// analytically (the full runs are covered by the harness).
+func TestTable1Calibration(t *testing.T) {
+	a := DefaultAppCosts()
+	// MGS: ~N^3/2 orthogonalization element updates.
+	n := 1024.0
+	mgs := (n * n * n / 2 * float64(a.MGSOrtho)) / 1e9
+	if mgs < 45 || mgs > 70 {
+		t.Errorf("MGS calibration gives %.1fs, want ~56.4s", mgs)
+	}
+	// IGrid: 500x500 interior, 20 iterations.
+	ig := (498 * 498 * 20 * float64(a.IGridUpdate)) / 1e9
+	if ig < 35 || ig > 52 {
+		t.Errorf("IGrid calibration gives %.1fs, want ~42.6s", ig)
+	}
+	// NBF: 32K molecules x ~100 partners x 20 iterations.
+	nbf := (32768 * 100 * 20 * float64(a.NBFPair)) / 1e9
+	if nbf < 55 || nbf > 75 {
+		t.Errorf("NBF calibration gives %.1fs, want ~63.9s", nbf)
+	}
+}

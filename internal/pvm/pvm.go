@@ -1,0 +1,243 @@
+// Package pvm provides the hand-coded message-passing substrate of the
+// paper: an interface in the style of PVMe, IBM's SP/2-optimized
+// implementation of PVM, which the paper's hand-coded message-passing
+// programs run on. It offers typed point-to-point sends, broadcast,
+// reduction and exchange over the simulated switch, charging the pack/
+// unpack CPU costs message-passing libraries of the era paid for staging
+// data through transmit buffers.
+package pvm
+
+import (
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Scalar is the set of element types messages may carry.
+type Scalar interface {
+	~float32 | ~float64 | ~int32 | ~int64 | ~complex64 | ~complex128
+}
+
+func sizeOf[T Scalar]() int {
+	var z T
+	switch any(z).(type) {
+	case float32, int32:
+		return 4
+	case float64, int64, complex64:
+		return 8
+	case complex128:
+		return 16
+	}
+	panic("pvm: unsupported element type")
+}
+
+const tagBase = 20 << 16
+
+// System is a PVMe virtual machine: n tasks on the simulated switch.
+type System struct {
+	nprocs  int
+	costs   model.Costs
+	cluster *sim.Cluster
+}
+
+// NewSystem creates a message-passing machine with nprocs tasks.
+func NewSystem(nprocs int, costs model.Costs) *System {
+	if nprocs < 1 {
+		panic("pvm: need at least one task")
+	}
+	return &System{
+		nprocs:  nprocs,
+		costs:   costs,
+		cluster: sim.New(costs.SimConfig(nprocs)),
+	}
+}
+
+// Stats returns the interconnect statistics.
+func (s *System) Stats() *stats.Stats { return s.cluster.Stats() }
+
+// Costs returns the machine cost model.
+func (s *System) Costs() model.Costs { return s.costs }
+
+// NProcs returns the task count.
+func (s *System) NProcs() int { return s.nprocs }
+
+// Run executes body on every task.
+func (s *System) Run(body func(pv *PVM)) error {
+	return s.cluster.Run(func(p *sim.Proc) {
+		body(&PVM{p: p, sys: s})
+	})
+}
+
+// PVM is the per-task handle.
+type PVM struct {
+	p   *sim.Proc
+	sys *System
+}
+
+// Costs returns the machine cost model.
+func (pv *PVM) Costs() model.Costs { return pv.sys.costs }
+
+// ID returns the task id.
+func (pv *PVM) ID() int { return pv.p.ID() }
+
+// NProcs returns the task count.
+func (pv *PVM) NProcs() int { return pv.sys.nprocs }
+
+// Advance charges virtual compute time.
+func (pv *PVM) Advance(d sim.Time) { pv.p.Advance(d) }
+
+// Now returns the virtual clock.
+func (pv *PVM) Now() sim.Time { return pv.p.Now() }
+
+// Send packs and transmits vals to task dst under tag. The values are
+// snapshotted (as pvm_pack does), so the caller may reuse the buffer.
+func Send[T Scalar](pv *PVM, dst, tag int, vals []T) {
+	buf := make([]T, len(vals))
+	copy(buf, vals)
+	bytes := len(vals) * sizeOf[T]()
+	pv.p.Advance(pv.sys.costs.PackCost(bytes))
+	pv.p.Send(dst, tagBase+tag, buf, bytes, stats.KindData)
+}
+
+// Recv blocks for a message from src (AnySrc for a wildcard) under tag
+// and unpacks it into dst, returning the element count.
+func Recv[T Scalar](pv *PVM, src, tag int, dst []T) int {
+	m := pv.p.Recv(src, tagBase+tag)
+	vals := m.Payload.([]T)
+	n := copy(dst, vals)
+	pv.p.Advance(pv.sys.costs.UnpackCost(n * sizeOf[T]()))
+	return n
+}
+
+// AnySrc is the wildcard source for Recv.
+const AnySrc = sim.AnySrc
+
+// Bcast sends vals from root to every other task (n-1 messages, as PVMe
+// broadcast on the SP/2 switch). The transmit buffer is packed once and
+// reused for every destination, as pvm_mcast does. Non-root tasks
+// receive into vals.
+func Bcast[T Scalar](pv *PVM, root, tag int, vals []T) {
+	if pv.ID() == root {
+		buf := make([]T, len(vals))
+		copy(buf, vals)
+		bytes := len(vals) * sizeOf[T]()
+		pv.p.Advance(pv.sys.costs.PackCost(bytes))
+		for q := 0; q < pv.sys.nprocs; q++ {
+			if q != root {
+				pv.p.Send(q, tagBase+tag, buf, bytes, stats.KindData)
+			}
+		}
+		return
+	}
+	Recv(pv, root, tag, vals)
+}
+
+// Exchange swaps equal-length slices with a partner task: both sides
+// send, then receive. Used for nearest-neighbor boundary exchange.
+func Exchange[T Scalar](pv *PVM, partner, tag int, send, recv []T) {
+	Send(pv, partner, tag, send)
+	Recv(pv, partner, tag, recv)
+}
+
+// ReduceSum performs a sum reduction of vals to root (every non-root
+// task sends its contribution; root accumulates), then returns the
+// result on root. Non-root tasks return their own contribution.
+func ReduceSum[T Scalar](pv *PVM, root, tag int, vals []T) []T {
+	out := make([]T, len(vals))
+	copy(out, vals)
+	if pv.ID() == root {
+		tmp := make([]T, len(vals))
+		for i := 0; i < pv.sys.nprocs-1; i++ {
+			n := Recv(pv, AnySrc, tag, tmp)
+			for k := 0; k < n; k++ {
+				out[k] += tmp[k]
+			}
+		}
+		return out
+	}
+	Send(pv, root, tag, vals)
+	return out
+}
+
+// AllReduceSum is ReduceSum followed by a broadcast of the result.
+func AllReduceSum[T Scalar](pv *PVM, tag int, vals []T) []T {
+	out := ReduceSum(pv, 0, tag, vals)
+	Bcast(pv, 0, tag+1, out)
+	return out
+}
+
+// Reduce folds every task's contribution into root element-wise with op
+// (max, min, ...). Concurrent reductions must use distinct tags.
+func Reduce[T Scalar](pv *PVM, root, tag int, vals []T, op func(a, b T) T) []T {
+	out := make([]T, len(vals))
+	copy(out, vals)
+	if pv.ID() == root {
+		tmp := make([]T, len(vals))
+		for i := 0; i < pv.sys.nprocs-1; i++ {
+			n := Recv(pv, AnySrc, tag, tmp)
+			for k := 0; k < n; k++ {
+				out[k] = op(out[k], tmp[k])
+			}
+		}
+		return out
+	}
+	Send(pv, root, tag, vals)
+	return out
+}
+
+// AllReduce is Reduce to task 0 followed by a broadcast of the result.
+func AllReduce[T Scalar](pv *PVM, tag int, vals []T, op func(a, b T) T) []T {
+	out := Reduce(pv, 0, tag, vals, op)
+	Bcast(pv, 0, tag+1, out)
+	return out
+}
+
+// BarrierSilent is Barrier with its messages recorded under the
+// untracked category; the measurement harness uses it for timed-region
+// boundaries.
+func (pv *PVM) BarrierSilent(tag int) {
+	if pv.ID() == 0 {
+		for i := 0; i < pv.sys.nprocs-1; i++ {
+			pv.p.Recv(AnySrc, tagBase+tag)
+		}
+		for q := 1; q < pv.sys.nprocs; q++ {
+			pv.p.Send(q, tagBase+tag+1, nil, 4, stats.KindShutdown)
+		}
+		return
+	}
+	pv.p.Send(0, tagBase+tag, nil, 4, stats.KindShutdown)
+	pv.p.Recv(0, tagBase+tag+1)
+}
+
+// SendUntracked transmits vals without traffic accounting or pack cost.
+// The harness uses it to gather results (checksums) after measurement.
+func SendUntracked[T Scalar](pv *PVM, dst, tag int, vals []T) {
+	buf := make([]T, len(vals))
+	copy(buf, vals)
+	pv.p.Send(dst, tagBase+tag, buf, len(vals)*sizeOf[T](), stats.KindShutdown)
+}
+
+// RecvUntracked receives a message sent with SendUntracked.
+func RecvUntracked[T Scalar](pv *PVM, src, tag int, dst []T) int {
+	m := pv.p.Recv(src, tagBase+tag)
+	return copy(dst, m.Payload.([]T))
+}
+
+// Barrier synchronizes all tasks through task 0 (gather + release).
+// Hand-coded message-passing programs rarely need it — data messages
+// carry the synchronization — but the XHPF runtime uses it.
+func (pv *PVM) Barrier(tag int) {
+	one := []int32{0}
+	if pv.ID() == 0 {
+		buf := []int32{0}
+		for i := 0; i < pv.sys.nprocs-1; i++ {
+			Recv(pv, AnySrc, tag, buf)
+		}
+		for q := 1; q < pv.sys.nprocs; q++ {
+			Send(pv, q, tag+1, one)
+		}
+		return
+	}
+	Send(pv, 0, tag, one)
+	Recv(pv, 0, tag+1, one)
+}

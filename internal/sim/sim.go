@@ -1,0 +1,439 @@
+// Package sim implements a deterministic, conservative discrete-event
+// simulator whose processes are ordinary goroutines with virtual clocks.
+//
+// The simulator stands in for the paper's 8-node IBM SP/2 (see DESIGN.md,
+// substitution table). Each simulated processor runs real Go code on real
+// data, but time is virtual: computation advances a processor's clock by
+// explicitly charged amounts, and messages pay a configurable
+// latency + size/bandwidth + software-overhead cost on the simulated
+// interconnect.
+//
+// # Determinism
+//
+// Exactly one process executes at a time: the one with the minimum
+// "effective" virtual time (ties broken by process id). A process blocked
+// in Recv has effective time max(clock, earliest matching delivery); a
+// ready process has its clock. Because the global minimum effective time
+// is nondecreasing, any message consumed by a Recv is guaranteed to be the
+// earliest-delivered match that will ever exist, so runs are
+// bit-reproducible: identical virtual times, identical message orders,
+// identical floating-point results.
+//
+// A running process is handed a "horizon" — the effective time of the
+// next-best process. It may keep executing without rescheduling until its
+// clock passes the horizon, which keeps scheduling overhead low without
+// giving up determinism.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Forever is a time later than any event.
+const Forever Time = math.MaxInt64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Seconds converts a virtual duration to float seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/1e6)
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/1e3)
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// AnySrc and AnyTag are wildcards for Recv.
+const (
+	AnySrc = -1
+	AnyTag = -1
+)
+
+// Message is a simulated network message.
+type Message struct {
+	Src, Dst int
+	Tag      int
+	Payload  any
+	Bytes    int        // modeled wire size, including header
+	Kind     stats.Kind // accounting category
+	SendTime Time       // sender clock when the message left
+	Deliver  Time       // arrival time at the destination
+	seq      uint64     // global sequence number, for deterministic ties
+}
+
+// Config describes the simulated machine.
+type Config struct {
+	// Procs is the number of simulated processes. Runtimes typically
+	// create 2N processes for an N-node machine: N application processes
+	// and N request-server processes (see DESIGN.md on interrupt-driven
+	// request servicing).
+	Procs int
+
+	// Latency is the one-way wire latency of the interconnect.
+	Latency Time
+
+	// NanosPerByte is the inverse bandwidth of a link (ns per byte).
+	NanosPerByte float64
+
+	// SendOverhead and RecvOverhead are the per-message software costs
+	// charged to the sender and receiver CPUs.
+	SendOverhead Time
+	RecvOverhead Time
+
+	// HeaderBytes is added to every message's payload size for transfer
+	// time and accounting.
+	HeaderBytes int
+
+	// Stats receives per-message accounting. Optional.
+	Stats *stats.Stats
+}
+
+type procState uint8
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateBlocked // blocked in Recv
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "?"
+}
+
+// Proc is a simulated process. All methods must be called only from the
+// goroutine running the process body.
+type Proc struct {
+	id      int
+	c       *Cluster
+	clock   Time
+	horizon Time
+	state   procState
+	inbox   []*Message
+	waitSrc int
+	waitTag int
+	resume  chan Time
+	err     any // recovered panic, if the body panicked
+}
+
+// Cluster is a set of simulated processes plus the scheduler state.
+type Cluster struct {
+	cfg   Config
+	procs []*Proc
+	yield chan int
+	seq   uint64
+	stats *stats.Stats
+}
+
+// New creates a cluster with the given configuration.
+func New(cfg Config) *Cluster {
+	if cfg.Procs <= 0 {
+		panic("sim: Config.Procs must be positive")
+	}
+	st := cfg.Stats
+	if st == nil {
+		st = &stats.Stats{}
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		yield: make(chan int),
+		stats: st,
+	}
+	c.procs = make([]*Proc, cfg.Procs)
+	for i := range c.procs {
+		c.procs[i] = &Proc{
+			id:      i,
+			c:       c,
+			resume:  make(chan Time),
+			waitSrc: AnySrc,
+			waitTag: AnyTag,
+		}
+	}
+	return c
+}
+
+// Stats returns the cluster's statistics collector.
+func (c *Cluster) Stats() *stats.Stats { return c.stats }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// TransferTime returns latency plus size-dependent wire time for a payload
+// of the given size (header added automatically).
+func (c *Cluster) TransferTime(payloadBytes int) Time {
+	wire := payloadBytes + c.cfg.HeaderBytes
+	return c.cfg.Latency + Time(float64(wire)*c.cfg.NanosPerByte)
+}
+
+// DeadlockError reports that no process could make progress.
+type DeadlockError struct {
+	States []string
+}
+
+func (e *DeadlockError) Error() string {
+	return "sim: deadlock: no runnable process\n  " + strings.Join(e.States, "\n  ")
+}
+
+// Run starts every process executing body and drives the scheduler until
+// all processes finish. It returns a *DeadlockError if the processes
+// deadlock. If a process body panics, Run re-panics with the same value
+// after shutting down cleanly, so tests see the original failure.
+func (c *Cluster) Run(body func(p *Proc)) error {
+	for _, p := range c.procs {
+		go func(p *Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					p.err = r
+				}
+				p.state = stateDone
+				c.yield <- p.id
+			}()
+			p.horizon = <-p.resume
+			p.state = stateRunning
+			body(p)
+		}(p)
+	}
+	remaining := len(c.procs)
+	for remaining > 0 {
+		p := c.pick()
+		if p == nil {
+			// Unblock every goroutine so they do not leak, then report.
+			states := make([]string, len(c.procs))
+			for i, q := range c.procs {
+				states[i] = fmt.Sprintf("proc %d: %s clock=%v wait=(src=%d,tag=%d) inbox=%d",
+					i, q.state, q.clock, q.waitSrc, q.waitTag, len(q.inbox))
+			}
+			return &DeadlockError{States: states}
+		}
+		p.resume <- c.horizonFor(p)
+		id := <-c.yield
+		if c.procs[id].state == stateDone {
+			remaining--
+			if c.procs[id].err != nil {
+				// Drain remaining procs is impossible mid-panic; report.
+				panic(c.procs[id].err)
+			}
+		}
+	}
+	return nil
+}
+
+// effective returns the scheduling priority time of p, or Forever if p
+// cannot run.
+func (c *Cluster) effective(p *Proc) Time {
+	switch p.state {
+	case stateReady:
+		return p.clock
+	case stateBlocked:
+		if m := p.minMatch(p.waitSrc, p.waitTag); m >= 0 {
+			d := p.inbox[m].Deliver
+			if d < p.clock {
+				return p.clock
+			}
+			return d
+		}
+		return Forever
+	default:
+		return Forever
+	}
+}
+
+// pick chooses the runnable process with minimum (effective, id).
+func (c *Cluster) pick() *Proc {
+	var best *Proc
+	bestT := Forever
+	for _, p := range c.procs {
+		t := c.effective(p)
+		if t == Forever {
+			continue
+		}
+		if best == nil || t < bestT {
+			best, bestT = p, t
+		}
+	}
+	return best
+}
+
+// horizonFor computes the second-best effective time: the chosen process
+// may run freely while its clock does not exceed this value.
+func (c *Cluster) horizonFor(chosen *Proc) Time {
+	h := Forever
+	for _, p := range c.procs {
+		if p == chosen {
+			continue
+		}
+		if t := c.effective(p); t < h {
+			h = t
+		}
+	}
+	return h
+}
+
+// yieldTo hands control back to the scheduler with the given state and
+// waits to be rescheduled.
+func (p *Proc) yieldTo(s procState) {
+	p.state = s
+	p.c.yield <- p.id
+	p.horizon = <-p.resume
+	p.state = stateRunning
+}
+
+// ID returns the process id in [0, Config.Procs).
+func (p *Proc) ID() int { return p.id }
+
+// N returns the total number of simulated processes.
+func (p *Proc) N() int { return len(p.c.procs) }
+
+// Cluster returns the owning cluster.
+func (p *Proc) Cluster() *Cluster { return p.c }
+
+// Now returns the process's virtual clock.
+func (p *Proc) Now() Time { return p.clock }
+
+// Advance charges d of virtual compute time to the process.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	p.clock += d
+	if p.clock > p.horizon {
+		p.yieldTo(stateReady)
+	}
+}
+
+// AdvanceTo moves the clock forward to at least t.
+func (p *Proc) AdvanceTo(t Time) {
+	if t > p.clock {
+		p.Advance(t - p.clock)
+	}
+}
+
+// Send transmits a message to process dst. The sender is charged
+// SendOverhead; the message arrives at
+// sendTime + Latency + bytes*NanosPerByte. Self-sends are forbidden:
+// runtimes service local requests inline (a function call, not a message).
+func (p *Proc) Send(dst, tag int, payload any, payloadBytes int, kind stats.Kind) {
+	if dst == p.id {
+		panic("sim: self-send; handle local requests inline")
+	}
+	if dst < 0 || dst >= len(p.c.procs) {
+		panic(fmt.Sprintf("sim: send to invalid proc %d", dst))
+	}
+	p.Advance(p.c.cfg.SendOverhead)
+	wire := payloadBytes + p.c.cfg.HeaderBytes
+	p.c.seq++
+	m := &Message{
+		Src:      p.id,
+		Dst:      dst,
+		Tag:      tag,
+		Payload:  payload,
+		Bytes:    wire,
+		Kind:     kind,
+		SendTime: p.clock,
+		Deliver:  p.clock + p.c.cfg.Latency + Time(float64(wire)*p.c.cfg.NanosPerByte),
+		seq:      p.c.seq,
+	}
+	p.c.procs[dst].inbox = append(p.c.procs[dst].inbox, m)
+	p.c.stats.Record(kind, wire)
+}
+
+// minMatch returns the index of the earliest-delivered message matching
+// (src, tag), or -1. Ties are broken by send sequence number.
+func (p *Proc) minMatch(src, tag int) int {
+	best := -1
+	for i, m := range p.inbox {
+		if src != AnySrc && m.Src != src {
+			continue
+		}
+		if tag != AnyTag && m.Tag != tag {
+			continue
+		}
+		if best < 0 || m.Deliver < p.inbox[best].Deliver ||
+			(m.Deliver == p.inbox[best].Deliver && m.seq < p.inbox[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Recv blocks until a message matching (src, tag) is available and safe to
+// consume, removes it from the inbox, charges RecvOverhead, and returns
+// it. Use AnySrc / AnyTag as wildcards.
+func (p *Proc) Recv(src, tag int) *Message {
+	for {
+		if i := p.minMatch(src, tag); i >= 0 {
+			m := p.inbox[i]
+			// Safe to consume only if no other process could still send
+			// an earlier-delivered match. All other processes sit at
+			// effective time >= horizon, and any message they send will
+			// deliver strictly after that, so a match delivered at or
+			// before the horizon is final.
+			if m.Deliver <= p.horizon {
+				p.inbox = append(p.inbox[:i], p.inbox[i+1:]...)
+				if m.Deliver > p.clock {
+					p.clock = m.Deliver
+				}
+				p.Advance(p.c.cfg.RecvOverhead)
+				return m
+			}
+		}
+		p.waitSrc, p.waitTag = src, tag
+		p.yieldTo(stateBlocked)
+	}
+}
+
+// Pending reports whether a message matching (src, tag) has already been
+// *sent*, regardless of virtual delivery time. It does not advance time.
+// Useful for draining inboxes at shutdown.
+func (p *Proc) Pending(src, tag int) bool { return p.minMatch(src, tag) >= 0 }
+
+// Yield gives other processes at the same virtual time a chance to run.
+// It is a scheduling hint only and does not advance the clock.
+func (p *Proc) Yield() { p.yieldTo(stateReady) }
+
+// DumpInbox formats the pending messages for debugging.
+func (p *Proc) DumpInbox() string {
+	msgs := make([]string, len(p.inbox))
+	idx := make([]int, len(p.inbox))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return p.inbox[idx[a]].seq < p.inbox[idx[b]].seq })
+	for i, j := range idx {
+		m := p.inbox[j]
+		msgs[i] = fmt.Sprintf("{src=%d tag=%d bytes=%d deliver=%v}", m.Src, m.Tag, m.Bytes, m.Deliver)
+	}
+	return strings.Join(msgs, " ")
+}

@@ -1,0 +1,145 @@
+// Package stats accumulates message and data-volume statistics for a
+// simulated cluster run. The paper reports, for every application and
+// version, the total number of messages and the total kilobytes of data
+// exchanged during the timed portion of the execution (Tables 2 and 3);
+// this package provides those totals broken down by traffic category so
+// the harness can also explain *why* a version communicates.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a message for accounting purposes.
+type Kind uint8
+
+const (
+	// KindData is application payload carried by explicit message passing
+	// (PVMe sends, XHPF shifts and broadcasts).
+	KindData Kind = iota
+	// KindBarrier is barrier arrival/departure traffic, including the
+	// split arrival/departure operations of the improved compiler
+	// interface (paper §2.3).
+	KindBarrier
+	// KindLock is lock acquire/forward/grant traffic.
+	KindLock
+	// KindDiffReq is a request for the diffs of a page.
+	KindDiffReq
+	// KindDiff is a reply carrying one or more diffs.
+	KindDiff
+	// KindPageReq is a request for a full page copy.
+	KindPageReq
+	// KindPage is a reply carrying a full page.
+	KindPage
+	// KindControl is miscellaneous runtime control traffic (fork-join
+	// loop dispatch under the unimproved interface, XHPF bookkeeping).
+	KindControl
+	// KindShutdown is end-of-run teardown traffic. It is *excluded* from
+	// the totals because the paper's counters stop at the final barrier.
+	KindShutdown
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"data", "barrier", "lock", "diffreq", "diff", "pagereq", "page",
+	"control", "shutdown",
+}
+
+// String returns the lower-case category name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Counted reports whether messages of this kind contribute to the
+// Table 2/3 totals.
+func (k Kind) Counted() bool { return k != KindShutdown }
+
+// Stats holds per-kind message counts and byte totals. The zero value is
+// ready to use. It is safe for single-threaded use only; the simulator's
+// scheduler serializes all access during a run.
+type Stats struct {
+	Msgs  [numKinds]int64
+	Bytes [numKinds]int64
+}
+
+// Record adds one message of kind k carrying the given number of bytes
+// (payload plus header).
+func (s *Stats) Record(k Kind, bytes int) {
+	s.Msgs[k]++
+	s.Bytes[k] += int64(bytes)
+}
+
+// Reset zeroes every counter. The harness calls this at the end of the
+// warm-up iteration, mirroring the paper's practice of excluding the
+// first iteration from measurement.
+func (s *Stats) Reset() {
+	*s = Stats{}
+}
+
+// TotalMsgs returns the number of counted messages.
+func (s *Stats) TotalMsgs() int64 {
+	var t int64
+	for k := Kind(0); k < numKinds; k++ {
+		if k.Counted() {
+			t += s.Msgs[k]
+		}
+	}
+	return t
+}
+
+// TotalBytes returns the counted data volume in bytes.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for k := Kind(0); k < numKinds; k++ {
+		if k.Counted() {
+			t += s.Bytes[k]
+		}
+	}
+	return t
+}
+
+// TotalKB returns the counted data volume in kilobytes (1024 bytes), the
+// unit used by Tables 2 and 3.
+func (s *Stats) TotalKB() int64 { return s.TotalBytes() / 1024 }
+
+// MsgsOf returns the message count for one category.
+func (s *Stats) MsgsOf(k Kind) int64 { return s.Msgs[k] }
+
+// BytesOf returns the byte count for one category.
+func (s *Stats) BytesOf(k Kind) int64 { return s.Bytes[k] }
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	for k := Kind(0); k < numKinds; k++ {
+		s.Msgs[k] += o.Msgs[k]
+		s.Bytes[k] += o.Bytes[k]
+	}
+}
+
+// String formats the non-zero categories, for debugging and reports.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "msgs=%d kb=%d", s.TotalMsgs(), s.TotalKB())
+	for k := Kind(0); k < numKinds; k++ {
+		if s.Msgs[k] != 0 {
+			fmt.Fprintf(&b, " %s=%d/%dB", k, s.Msgs[k], s.Bytes[k])
+		}
+	}
+	return b.String()
+}
+
+// NumKinds reports the number of defined categories (for table layouts).
+func NumKinds() int { return int(numKinds) }
+
+// AllKinds lists every category in declaration order.
+func AllKinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}

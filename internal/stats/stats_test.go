@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAndTotals(t *testing.T) {
+	var s Stats
+	s.Record(KindData, 100)
+	s.Record(KindData, 200)
+	s.Record(KindBarrier, 50)
+	s.Record(KindShutdown, 999)
+
+	if got := s.TotalMsgs(); got != 3 {
+		t.Errorf("TotalMsgs = %d, want 3", got)
+	}
+	if got := s.TotalBytes(); got != 350 {
+		t.Errorf("TotalBytes = %d, want 350", got)
+	}
+	if got := s.MsgsOf(KindData); got != 2 {
+		t.Errorf("MsgsOf(data) = %d, want 2", got)
+	}
+	if got := s.BytesOf(KindBarrier); got != 50 {
+		t.Errorf("BytesOf(barrier) = %d, want 50", got)
+	}
+}
+
+func TestShutdownExcluded(t *testing.T) {
+	if KindShutdown.Counted() {
+		t.Error("shutdown traffic must not be counted")
+	}
+	for _, k := range AllKinds() {
+		if k != KindShutdown && !k.Counted() {
+			t.Errorf("kind %v should be counted", k)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Stats
+	s.Record(KindDiff, 4096)
+	s.Reset()
+	if s.TotalMsgs() != 0 || s.TotalBytes() != 0 {
+		t.Errorf("after Reset: %v", s.String())
+	}
+}
+
+func TestTotalKB(t *testing.T) {
+	var s Stats
+	s.Record(KindPage, 4096)
+	s.Record(KindPage, 4096)
+	if got := s.TotalKB(); got != 8 {
+		t.Errorf("TotalKB = %d, want 8", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	var a, b Stats
+	a.Record(KindData, 10)
+	b.Record(KindData, 20)
+	b.Record(KindLock, 5)
+	a.Add(&b)
+	if a.TotalMsgs() != 3 || a.TotalBytes() != 35 {
+		t.Errorf("after Add: %s", a.String())
+	}
+}
+
+func TestStringMentionsNonZeroKinds(t *testing.T) {
+	var s Stats
+	s.Record(KindDiffReq, 32)
+	out := s.String()
+	if !strings.Contains(out, "diffreq") {
+		t.Errorf("String() = %q, want mention of diffreq", out)
+	}
+	if strings.Contains(out, "lock=") {
+		t.Errorf("String() = %q mentions zero category", out)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	want := map[Kind]string{
+		KindData: "data", KindBarrier: "barrier", KindLock: "lock",
+		KindDiffReq: "diffreq", KindDiff: "diff", KindPageReq: "pagereq",
+		KindPage: "page", KindControl: "control", KindShutdown: "shutdown",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if got := Kind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+// Property: totals always equal the sum over counted kinds, regardless of
+// the record sequence.
+func TestTotalsConsistentProperty(t *testing.T) {
+	f := func(events []uint16) bool {
+		var s Stats
+		for _, e := range events {
+			k := Kind(e % uint16(NumKinds()))
+			s.Record(k, int(e%4097))
+		}
+		var msgs, bytes int64
+		for _, k := range AllKinds() {
+			if k.Counted() {
+				msgs += s.MsgsOf(k)
+				bytes += s.BytesOf(k)
+			}
+		}
+		return msgs == s.TotalMsgs() && bytes == s.TotalBytes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

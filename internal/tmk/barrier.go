@@ -1,0 +1,224 @@
+package tmk
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Barrier traffic, per the paper §2.2: barriers have a centralized
+// manager (node 0's application process, which is itself waiting at the
+// barrier, so no server process is involved). At arrival each process
+// sends a release message carrying its newly released intervals' write
+// notices; the manager merges them and broadcasts a departure carrying
+// the notices each process lacks: 2(n-1) messages per barrier.
+//
+// Consistency invariant: a node's vector clock entry vc[q] advances only
+// together with the interval records that justify it (applyBatches or the
+// node's own release). Batches always cover the contiguous range
+// (receiver.vc[q], sender.vc[q]], so logs never develop gaps and any node
+// can serve consistency information for any older vector clock.
+
+// arrivalMsg is a process's barrier-arrival payload.
+type arrivalMsg struct {
+	vc      []int32 // the arriver's vector clock (tells the manager what it lacks)
+	batches []noticeBatch
+	reduce  []float64 // optional barrier-merged reduction contribution (§8)
+}
+
+// departMsg is the manager's barrier-departure payload.
+type departMsg struct {
+	batches []noticeBatch
+	payload any // loop-control data under the improved interface (§2.3)
+	reduce  []float64
+}
+
+// ownBatch collects this node's own released intervals later than since.
+func (nd *node) ownBatch(since int32) []noticeBatch {
+	ivs := nd.noticesSince(nd.id, since, nd.vc[nd.id])
+	if len(ivs) == 0 {
+		return nil
+	}
+	return []noticeBatch{{proc: nd.id, intervals: ivs}}
+}
+
+// Barrier performs a full TreadMarks barrier: an RC release followed by
+// global synchronization and write-notice exchange.
+func (tm *Tmk) Barrier() {
+	tm.barrierReduce(nil, nil, stats.KindBarrier)
+}
+
+// BarrierReduceSum is the §8 "efficient support for reductions"
+// extension: contributions are merged element-wise (sum) through the
+// barrier messages themselves and the result is returned to every
+// process, avoiding a lock-protected shared reduction variable. Every
+// process must pass a slice of the same length.
+func (tm *Tmk) BarrierReduceSum(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	tm.barrierReduce(vals, out, stats.KindBarrier)
+	return out
+}
+
+func (tm *Tmk) barrierReduce(reduce, reduceOut []float64, kind stats.Kind) {
+	nd := tm.nd
+	p := tm.p
+	startT := p.Now()
+	defer func() { nd.BarrierTime += p.Now() - startT }()
+	n := nd.sys.nprocs
+	c := nd.sys.costs
+
+	reported := nd.lastReported
+	nd.releaseInterval()
+	nd.lastReported = nd.vc[nd.id]
+	seq := nd.barrierSeq % barrierSeqSpace
+	nd.barrierSeq++
+	if n == 1 {
+		if reduceOut != nil {
+			copy(reduceOut, reduce)
+		}
+		return
+	}
+
+	if nd.id == 0 {
+		acc := append([]float64(nil), reduce...)
+		for i := 1; i < n; i++ {
+			m := p.Recv(sim.AnySrc, tagBarrierArrive+seq)
+			arr := m.Payload.(arrivalMsg)
+			nd.applyBatches(arr.batches)
+			nd.setWorkerVC(m.Src, arr.vc)
+			if len(arr.reduce) > len(acc) {
+				grown := make([]float64, len(arr.reduce))
+				copy(grown, acc)
+				acc = grown
+			}
+			for k, v := range arr.reduce {
+				acc[k] += v
+			}
+			p.Advance(c.BarrierWork)
+		}
+		for w := 1; w < n; w++ {
+			batches := nd.batchSince(nd.workerVCAt(w))
+			bytes := 16 + batchBytes(batches) + len(acc)*8
+			dep := departMsg{batches: batches, reduce: acc}
+			p.Send(w, tagBarrierDepart+seq, dep, bytes, kind)
+		}
+		if reduceOut != nil {
+			copy(reduceOut, acc)
+		}
+	} else {
+		batches := nd.ownBatch(reported)
+		bytes := n*vcBytes + batchBytes(batches) + len(reduce)*8
+		arr := arrivalMsg{vc: vcCopy(nd.vc), batches: batches, reduce: reduce}
+		p.Send(0, tagBarrierArrive+seq, arr, bytes, kind)
+		m := p.Recv(0, tagBarrierDepart+seq)
+		dep := m.Payload.(departMsg)
+		nd.applyBatches(dep.batches)
+		p.Advance(c.BarrierWork)
+		if reduceOut != nil {
+			copy(reduceOut, dep.reduce)
+		}
+	}
+	nd.firePushes(seq, kind)
+}
+
+// --- Improved compiler interface (§2.3): split arrival and departure ---
+//
+// The fork-join model needs only a one-to-all synchronization at the fork
+// and an all-to-one at the join. The departure carries the loop-control
+// variables (encapsulated-subroutine index and arguments), avoiding the
+// two shared-memory control-page faults per worker of the original
+// scheme. Per parallel loop: 2(n-1) messages instead of 8(n-1).
+
+// Fork is the master-side barrier departure: it releases the master's
+// interval and wakes the workers, piggybacking the loop-control payload
+// ctrl (modeled size ctrlBytes) and the consistency information each
+// worker lacks.
+func (tm *Tmk) Fork(ctrl any, ctrlBytes int) {
+	nd := tm.nd
+	p := tm.p
+	n := nd.sys.nprocs
+	startT := p.Now()
+	defer func() { nd.BarrierTime += p.Now() - startT }()
+	if nd.id != 0 {
+		panic("tmk: Fork must be called on the master")
+	}
+	nd.releaseInterval()
+	nd.lastReported = nd.vc[nd.id]
+	seq := nd.barrierSeq % barrierSeqSpace
+	nd.barrierSeq++
+	for w := 1; w < n; w++ {
+		batches := nd.batchSince(nd.workerVCAt(w))
+		bytes := 16 + batchBytes(batches) + ctrlBytes
+		dep := departMsg{batches: batches, payload: ctrl}
+		p.Send(w, tagBarrierDepart+seq, dep, bytes, stats.KindBarrier)
+	}
+}
+
+// WaitFork is the worker-side wait for the master's departure; it is an
+// RC acquire (invalidations are applied) but not a release. It returns
+// the piggybacked loop-control payload.
+func (tm *Tmk) WaitFork() any {
+	nd := tm.nd
+	p := tm.p
+	startT := p.Now()
+	defer func() { nd.BarrierTime += p.Now() - startT }()
+	if nd.id == 0 {
+		panic("tmk: WaitFork must be called on a worker")
+	}
+	seq := nd.barrierSeq % barrierSeqSpace
+	nd.barrierSeq++
+	m := p.Recv(0, tagBarrierDepart+seq)
+	dep := m.Payload.(departMsg)
+	nd.applyBatches(dep.batches)
+	p.Advance(nd.sys.costs.BarrierWork)
+	return dep.payload
+}
+
+// Join is the worker-side barrier arrival after a parallel loop: an RC
+// release that reports the worker's write notices to the master.
+func (tm *Tmk) Join() {
+	nd := tm.nd
+	p := tm.p
+	startT := p.Now()
+	defer func() { nd.BarrierTime += p.Now() - startT }()
+	if nd.id == 0 {
+		panic("tmk: Join must be called on a worker")
+	}
+	reported := nd.lastReported
+	nd.releaseInterval()
+	nd.lastReported = nd.vc[nd.id]
+	seq := nd.barrierSeq % barrierSeqSpace
+	nd.barrierSeq++
+	batches := nd.ownBatch(reported)
+	bytes := nd.sys.nprocs*vcBytes + batchBytes(batches)
+	arr := arrivalMsg{vc: vcCopy(nd.vc), batches: batches}
+	p.Send(0, tagBarrierArrive+seq, arr, bytes, stats.KindBarrier)
+}
+
+// Collect is the master-side join: it gathers the workers' arrivals,
+// merging their write notices (an RC acquire for the master).
+func (tm *Tmk) Collect() {
+	nd := tm.nd
+	p := tm.p
+	n := nd.sys.nprocs
+	startT := p.Now()
+	defer func() { nd.BarrierTime += p.Now() - startT }()
+	if nd.id != 0 {
+		panic("tmk: Collect must be called on the master")
+	}
+	seq := nd.barrierSeq % barrierSeqSpace
+	nd.barrierSeq++
+	for i := 1; i < n; i++ {
+		m := p.Recv(sim.AnySrc, tagBarrierArrive+seq)
+		arr := m.Payload.(arrivalMsg)
+		nd.applyBatches(arr.batches)
+		nd.setWorkerVC(m.Src, arr.vc)
+		p.Advance(nd.sys.costs.BarrierWork)
+	}
+}
+
+// vcCopy snapshots a vector clock for a message payload.
+func vcCopy(vc []int32) []int32 {
+	out := make([]int32, len(vc))
+	copy(out, vc)
+	return out
+}

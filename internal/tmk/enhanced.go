@@ -1,0 +1,147 @@
+package tmk
+
+import (
+	"repro/internal/stats"
+)
+
+// Enhanced compiler-runtime interface (paper §5 hand optimizations and
+// §8, after Dwarkadas et al. [7]): data aggregation (ReadAggregated /
+// WriteAggregated on regions), broadcast, pushing data with barriers
+// instead of the default request-response, and barrier-merged reductions
+// (BarrierReduceSum in barrier.go).
+
+// pushDirective asks the runtime to push this node's diffs for a page
+// range to a consumer at every barrier, replacing the consumer's
+// request-response page faults.
+type pushDirective struct {
+	dest        int
+	first, last int32   // inclusive global page range
+	sentSeq     []int32 // per page: highest record seq already pushed
+}
+
+// pushMsg carries pushed diffs.
+type pushMsg struct {
+	proc int
+	recs []*diffRec
+}
+
+// bcastMsg carries a broadcast snapshot of a region range.
+type bcastMsg struct {
+	payload any
+	upto    int32 // the root's last released interval covered by the data
+}
+
+// PushOnBarrier registers a persistent push: at every subsequent barrier
+// this node sends its new diffs for region pages covering elements
+// [lo,hi) directly to dest. The consumer must register a matching
+// ExpectPushOnBarrier. This is the "push instead of pull" optimization.
+func PushOnBarrier[T Elem](tm *Tmk, r *Region[T], lo, hi, dest int) {
+	if dest == tm.nd.id {
+		panic("tmk: push to self")
+	}
+	first := int32(r.PageOf(lo))
+	last := int32(r.PageOf(hi - 1))
+	tm.nd.pushes = append(tm.nd.pushes, pushDirective{
+		dest:    dest,
+		first:   first,
+		last:    last,
+		sentSeq: make([]int32, last-first+1),
+	})
+}
+
+// ExpectPushOnBarrier registers the consumer side of a push pairing: at
+// every subsequent barrier this node receives and applies one push
+// message from src.
+func (tm *Tmk) ExpectPushOnBarrier(src int) {
+	if src == tm.nd.id {
+		panic("tmk: expect push from self")
+	}
+	tm.nd.expects = append(tm.nd.expects, src)
+}
+
+// firePushes runs at the end of every barrier: send all registered
+// pushes, then consume all expected ones.
+func (nd *node) firePushes(seq int, kind stats.Kind) {
+	if len(nd.pushes) == 0 && len(nd.expects) == 0 {
+		return
+	}
+	p := nd.tm.p
+	c := nd.sys.costs
+	for i := range nd.pushes {
+		d := &nd.pushes[i]
+		var recs []*diffRec
+		bytes := pushHdr
+		for gp := d.first; gp <= d.last; gp++ {
+			nd.extractPending(gp, p)
+			for _, r := range nd.recsSinceSeq(gp, d.sentSeq[gp-d.first]) {
+				recs = append(recs, r)
+				bytes += r.bytes
+				if r.seq > d.sentSeq[gp-d.first] {
+					d.sentSeq[gp-d.first] = r.seq
+				}
+			}
+		}
+		k := stats.KindDiff
+		if kind == stats.KindShutdown {
+			k = stats.KindShutdown
+		}
+		p.Send(d.dest, tagPush+seq, pushMsg{proc: nd.id, recs: recs}, bytes, k)
+	}
+	for _, src := range nd.expects {
+		m := p.Recv(src, tagPush+seq)
+		pm := m.Payload.(pushMsg)
+		for _, r := range pm.recs {
+			ps := &nd.pageMeta[r.page]
+			nd.regions[ps.region].apply(ps.local, r.payload)
+			nd.DiffsApplied++
+			if r.upto > ps.applied[pm.proc] {
+				ps.applied[pm.proc] = r.upto
+			}
+			if r.seq > ps.appliedSeq[pm.proc] {
+				ps.appliedSeq[pm.proc] = r.seq
+			}
+			p.Advance(c.DiffApplyCost(diffChangedBytes(r.bytes)))
+		}
+	}
+}
+
+// BroadcastRegion implements the merged synchronization-and-data
+// broadcast used by the optimized MGS (§5.3: "we hand-modified the
+// program to merge the data and the synchronization, and modified
+// TreadMarks to use a broadcast"). The root releases its interval and
+// ships the raw contents of region elements [lo,hi) to every process;
+// receivers install the data and mark the fully covered pages as applied,
+// so the subsequent write notices for them cause no page faults.
+// Collective: every process must call it with the same arguments.
+func BroadcastRegion[T Elem](tm *Tmk, r *Region[T], lo, hi, root int) {
+	nd := tm.nd
+	p := tm.p
+	n := nd.sys.nprocs
+	c := nd.sys.costs
+	seq := nd.bcastSeq % barrierSeqSpace
+	nd.bcastSeq++
+	if nd.id == root {
+		nd.releaseInterval()
+		payload, bytes := r.snapshot(lo, hi)
+		msg := bcastMsg{payload: payload, upto: nd.vc[nd.id]}
+		for q := 0; q < n; q++ {
+			if q != root {
+				p.Send(q, tagBcast+seq, msg, pushHdr+bytes, stats.KindPage)
+			}
+		}
+		return
+	}
+	m := p.Recv(root, tagBcast+seq)
+	bm := m.Payload.(bcastMsg)
+	r.install(lo, hi, bm.payload)
+	// Mark fully covered pages as applied up to the root's release.
+	firstFull := (lo + r.epp - 1) / r.epp
+	lastFull := hi/r.epp - 1
+	for pg := firstFull; pg <= lastFull; pg++ {
+		ps := &nd.pageMeta[r.basePage+pg]
+		if bm.upto > ps.applied[root] {
+			ps.applied[root] = bm.upto
+		}
+	}
+	p.Advance(c.DiffApplyCost((hi - lo) * r.elemSize))
+}

@@ -1,0 +1,320 @@
+package tmk
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// gcThreshold is the per-page diff-record count that triggers a squash,
+// bounding diff storage like TreadMarks' garbage collection. The squash
+// is only applied to pages this node is the sole writer of — merging
+// records across an interference boundary could reorder causally related
+// writes from different nodes.
+const gcThreshold = 32
+
+// writeTouch performs the write-access bookkeeping for page gp: twin the
+// page on the first write of an interval (the mprotect write-trap
+// equivalent) and register it for a write notice at the next release.
+// Must be called with the page valid, from the application process.
+// Concurrency note (applies to every protocol mutation in this package):
+// Advance is a scheduler yield point, so the node's server process may run
+// in the middle of any sequence that calls it. All protocol state must
+// therefore be mutated *first* and the virtual CPU time charged *after*,
+// keeping every critical section atomic between scheduling points.
+func (nd *node) writeTouch(gp int32) {
+	ps := &nd.pageMeta[gp]
+	c := nd.sys.costs
+	var cost sim.Time
+	if !ps.hasTwin {
+		nd.regions[ps.region].makeTwin(ps.local)
+		nd.Twins++
+		ps.hasTwin = true
+		ps.twinWrite = nd.curInterval
+		cost = c.WriteFault + c.TwinPage
+	} else if ps.twinWrite < nd.curInterval {
+		// New interval: the page was write-protected again at the last
+		// release, so pay the re-protection fault. The twin keeps
+		// accumulating (lazy diffing with diff domination).
+		ps.twinWrite = nd.curInterval
+		cost = c.WriteFault
+	}
+	if ps.lastSelf != nd.curInterval {
+		ps.lastSelf = nd.curInterval
+		nd.dirty = append(nd.dirty, gp)
+	}
+	if cost > 0 {
+		nd.tm.p.Advance(cost)
+	}
+}
+
+// diffRequest asks a writer for the diffs of a set of pages.
+type diffRequest struct {
+	pages []pageAsk
+}
+
+type pageAsk struct {
+	page    int32
+	fromSeq int32 // requester's appliedSeq[writer]: send newer records only
+}
+
+// diffResponse carries the records satisfying one request.
+type diffResponse struct {
+	recs []*diffRec
+}
+
+// extractPending encodes the pending diff for gp (if any), appending it
+// to the page's record chain, and runs GC when the chain grows long. p is
+// the process paying the CPU cost: the application process at faults, the
+// server process when answering requests.
+//
+// Labeling: upto is capped at the last *released* interval — a record
+// extracted mid-interval carries this node's partial current-interval
+// writes (harmless for race-free programs: nobody may conflict with
+// unreleased data), but it must not claim to cover the open interval, or
+// readers would mark it applied and miss the writes made after
+// extraction. order is the causal sort key: the vector-clock sum at the
+// covering interval's release (strictly increasing along happens-before),
+// estimated as if released now for mid-interval extractions.
+func (nd *node) extractPending(gp int32, p *sim.Proc) {
+	ps := &nd.pageMeta[gp]
+	if !ps.hasTwin {
+		return
+	}
+	rh := nd.regions[ps.region]
+	keep := ps.twinWrite == nd.curInterval
+	payload, bytes := rh.extract(ps.local, keep)
+	ps.hasTwin = keep
+	nd.DiffsMade++
+
+	upto := ps.lastSelf
+	var order int64
+	if upto < nd.curInterval {
+		order = nd.orders[upto-1]
+	} else {
+		upto = nd.curInterval - 1
+		order = nd.orderEstimate()
+	}
+	ps.recSeq++
+	rec := &diffRec{
+		page: gp, seq: ps.recSeq, upto: upto, order: order,
+		payload: payload, bytes: bytes,
+	}
+	nd.recs[gp] = append(nd.recs[gp], rec)
+	gc := len(nd.recs[gp]) > gcThreshold && nd.soleWriter(ps)
+	if gc {
+		nd.gcPage(gp)
+	}
+	p.Advance(nd.sys.costs.DiffCreateCost(diffChangedBytes(bytes)))
+	if gc {
+		p.Advance(nd.sys.costs.DiffCreateCost(model.PageSize))
+	}
+}
+
+// orderEstimate is the causal sort key an interval would get if released
+// right now: the current vector-clock sum with this node's entry replaced
+// by the open interval number.
+func (nd *node) orderEstimate() int64 {
+	var s int64
+	for q, v := range nd.vc {
+		if q == nd.id {
+			s += int64(nd.curInterval)
+		} else {
+			s += int64(v)
+		}
+	}
+	return s
+}
+
+// soleWriter reports whether no other node has ever write-noticed ps.
+func (nd *node) soleWriter(ps *pageState) bool {
+	for q := range ps.notice {
+		if q != nd.id && ps.notice[q] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// gcPage squashes a sole-writer page's diff records into one dominating
+// record carrying the latest sequence number. Pure mutation: the caller
+// charges the CPU cost afterwards.
+func (nd *node) gcPage(gp int32) {
+	recs := nd.recs[gp]
+	payloads := make([]any, len(recs))
+	var maxUpto int32
+	var maxOrder int64
+	for i, r := range recs {
+		payloads[i] = r.payload
+		if r.upto > maxUpto {
+			maxUpto = r.upto
+		}
+		if r.order > maxOrder {
+			maxOrder = r.order
+		}
+	}
+	ps := &nd.pageMeta[gp]
+	rh := nd.regions[ps.region]
+	payload, bytes := rh.mergeRecs(payloads)
+	ps.recSeq++
+	nd.recs[gp] = []*diffRec{{
+		page: gp, seq: ps.recSeq, upto: maxUpto, order: maxOrder,
+		payload: payload, bytes: bytes,
+	}}
+}
+
+// recsSinceSeq returns the records for page gp with seq > fromSeq, in
+// chain order.
+func (nd *node) recsSinceSeq(gp, fromSeq int32) []*diffRec {
+	var out []*diffRec
+	for _, r := range nd.recs[gp] {
+		if r.seq > fromSeq {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// fault repairs an invalid page on the application process: extract any
+// pending local diff first (the multiple-writer protocol preserves this
+// node's concurrent writes and keeps the twin honest), then fetch the
+// missing diffs from every writer with pending notices — one request per
+// writer, one page per request, as in base TreadMarks.
+func (nd *node) fault(gp int32) {
+	p := nd.tm.p
+	c := nd.sys.costs
+	p.Advance(c.ReadFault)
+	nd.Faults++
+	nd.extractPending(gp, p)
+
+	ps := &nd.pageMeta[gp]
+	var writers []int
+	for q := 0; q < nd.sys.nprocs; q++ {
+		if q == nd.id || ps.notice[q] <= ps.applied[q] {
+			continue
+		}
+		writers = append(writers, q)
+		req := diffRequest{pages: []pageAsk{{page: gp, fromSeq: ps.appliedSeq[q]}}}
+		p.Send(nd.sys.serverOf(q), tagDiffReq, req, diffReqHdr+diffReqPerPage, stats.KindDiffReq)
+	}
+	nd.collectAndApply(writers, []int32{gp})
+}
+
+// fetchAggregated repairs all invalid pages in the inclusive global page
+// range [firstGp, lastGp] with a single request per remote writer — the
+// data-aggregation hand optimization of §5 (the enhanced interface of
+// Dwarkadas et al. [7]). No communication happens if nothing is pending.
+func (nd *node) fetchAggregated(firstGp, lastGp int) {
+	gps := make([]int32, 0, lastGp-firstGp+1)
+	for gp := firstGp; gp <= lastGp; gp++ {
+		gps = append(gps, int32(gp))
+	}
+	nd.fetchAggregatedList(gps)
+}
+
+// fetchAggregatedList is fetchAggregated over an arbitrary page set
+// (e.g. the strided section list of a transpose).
+func (nd *node) fetchAggregatedList(gps []int32) {
+	p := nd.tm.p
+	c := nd.sys.costs
+	perWriter := make(map[int][]pageAsk)
+	var pages []int32
+	for _, gp := range gps {
+		ps := &nd.pageMeta[gp]
+		if !ps.invalid() {
+			continue
+		}
+		nd.extractPending(gp, p)
+		pages = append(pages, gp)
+		for q := 0; q < nd.sys.nprocs; q++ {
+			if q == nd.id || ps.notice[q] <= ps.applied[q] {
+				continue
+			}
+			perWriter[q] = append(perWriter[q], pageAsk{page: gp, fromSeq: ps.appliedSeq[q]})
+		}
+	}
+	if len(perWriter) == 0 {
+		return
+	}
+	p.Advance(c.ReadFault) // one access miss covers the whole range
+	nd.Faults++
+	writers := make([]int, 0, len(perWriter))
+	for q := range perWriter {
+		writers = append(writers, q)
+	}
+	sort.Ints(writers)
+	for _, q := range writers {
+		req := diffRequest{pages: perWriter[q]}
+		bytes := diffReqHdr + len(req.pages)*diffReqPerPage
+		p.Send(nd.sys.serverOf(q), tagDiffReq, req, bytes, stats.KindDiffReq)
+	}
+	nd.collectAndApply(writers, pages)
+}
+
+// collectAndApply receives one diffResponse per writer and applies all
+// received records in causal order: ascending release-order label, which
+// is strictly increasing along happens-before, with writer id breaking
+// ties among concurrent records (whose byte ranges are disjoint in
+// race-free programs). Finally the repaired pages' notice tables are
+// settled: everything noticed from the queried writers is now applied.
+func (nd *node) collectAndApply(writers []int, pages []int32) {
+	p := nd.tm.p
+	c := nd.sys.costs
+	type recFrom struct {
+		writer int
+		rec    *diffRec
+	}
+	var all []recFrom
+	for _, q := range writers {
+		m := p.Recv(nd.sys.serverOf(q), tagDiffResp)
+		for _, r := range m.Payload.(diffResponse).recs {
+			all = append(all, recFrom{writer: q, rec: r})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].rec.order != all[j].rec.order {
+			return all[i].rec.order < all[j].rec.order
+		}
+		return all[i].writer < all[j].writer
+	})
+	for _, rf := range all {
+		ps := &nd.pageMeta[rf.rec.page]
+		nd.regions[ps.region].apply(ps.local, rf.rec.payload)
+		nd.DiffsApplied++
+		if rf.rec.upto > ps.applied[rf.writer] {
+			ps.applied[rf.writer] = rf.rec.upto
+		}
+		if rf.rec.seq > ps.appliedSeq[rf.writer] {
+			ps.appliedSeq[rf.writer] = rf.rec.seq
+		}
+		p.Advance(c.DiffApplyCost(diffChangedBytes(rf.rec.bytes)))
+	}
+	// The writers have, by construction, answered with their complete
+	// chains: every pending notice from them on the asked pages is
+	// satisfied even when the matching diff was empty.
+	for _, gp := range pages {
+		ps := &nd.pageMeta[gp]
+		for _, q := range writers {
+			if ps.notice[q] > ps.applied[q] {
+				ps.applied[q] = ps.notice[q]
+			}
+		}
+	}
+}
+
+// handleDiffReq services a diff request on the server process, returning
+// the response and its modeled wire size.
+func (nd *node) handleDiffReq(p *sim.Proc, req diffRequest) (diffResponse, int) {
+	var resp diffResponse
+	bytes := 8
+	for _, ask := range req.pages {
+		nd.extractPending(ask.page, p)
+		for _, r := range nd.recsSinceSeq(ask.page, ask.fromSeq) {
+			resp.recs = append(resp.recs, r)
+			bytes += r.bytes
+		}
+	}
+	return resp, bytes
+}

@@ -1,0 +1,32 @@
+package tmk
+
+// Message tags. Barrier tags are offset by a rolling sequence number so
+// that a fast process arriving at barrier k+1 cannot have its arrival
+// consumed by the manager still collecting barrier k.
+const (
+	tagBarrierArrive = 1 << 16
+	tagBarrierDepart = 2 << 16
+	tagLockReq       = 3 << 16 // + lock id
+	tagLockForward   = 4 << 16 // + lock id
+	tagLockGrant     = 5 << 16 // + lock id
+	tagDiffReq       = 6 << 16
+	tagDiffResp      = 7 << 16
+	tagBcast         = 8 << 16
+	tagPush          = 9 << 16
+	tagExit          = 10 << 16
+	tagUser          = 11 << 16 // reserved for runtimes layered on tmk
+
+	barrierSeqSpace = 1 << 14
+)
+
+// wire-format size constants (bytes) for control payloads.
+const (
+	vcBytes        = 4 // per process entry in a vector clock
+	diffReqHdr     = 12
+	diffReqPerPage = 16
+	diffRecHdr     = 8
+	diffSegHdr     = 4
+	lockReqBytes   = 16
+	grantHdr       = 16
+	pushHdr        = 16
+)

@@ -1,0 +1,107 @@
+package tmk
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Tmk is the per-process handle to the DSM system: the equivalent of the
+// TreadMarks API a program is linked against. One Tmk exists per
+// application process; it must only be used from that process.
+type Tmk struct {
+	p   *sim.Proc
+	nd  *node
+	sys *System
+}
+
+// ID returns this process's id in [0, NProcs).
+func (tm *Tmk) ID() int { return tm.nd.id }
+
+// NProcs returns the number of DSM processes.
+func (tm *Tmk) NProcs() int { return tm.sys.nprocs }
+
+// Advance charges virtual compute time to this process.
+func (tm *Tmk) Advance(d sim.Time) { tm.p.Advance(d) }
+
+// Now returns this process's virtual clock.
+func (tm *Tmk) Now() sim.Time { return tm.p.Now() }
+
+// Proc exposes the simulator process, for runtimes layered on TreadMarks
+// (the SPF fork-join runtime sends its own control messages).
+func (tm *Tmk) Proc() *sim.Proc { return tm.p }
+
+// System returns the owning system.
+func (tm *Tmk) System() *System { return tm.sys }
+
+// FaultCount returns the number of access faults taken by this node.
+func (tm *Tmk) FaultCount() int64 { return tm.nd.Faults }
+
+// TwinCount returns the number of twins created by this node.
+func (tm *Tmk) TwinCount() int64 { return tm.nd.Twins }
+
+// DiffCounts returns (created, applied) diff counts for this node.
+func (tm *Tmk) DiffCounts() (made, applied int64) {
+	return tm.nd.DiffsMade, tm.nd.DiffsApplied
+}
+
+// Profile is the overhead attribution of one application process — the
+// decomposition the paper's §5/§6 analysis reasons with.
+type Profile struct {
+	Fault   sim.Time // page repair: faults, diff fetches, applies
+	Barrier sim.Time // barrier/fork-join wait and processing
+	Lock    sim.Time // lock acquisition wait
+	Write   sim.Time // write detection: write faults and twinning
+}
+
+// Total returns the summed overhead.
+func (p Profile) Total() sim.Time { return p.Fault + p.Barrier + p.Lock + p.Write }
+
+// Profile returns this process's accumulated overhead attribution.
+func (tm *Tmk) Profile() Profile {
+	return Profile{
+		Fault:   tm.nd.FaultTime,
+		Barrier: tm.nd.BarrierTime,
+		Lock:    tm.nd.LockTime,
+		Write:   tm.nd.WriteTime,
+	}
+}
+
+// BarrierSilent is a full barrier whose messages are recorded under the
+// untracked (shutdown) category. The measurement harness uses it for
+// timed-region boundaries so that Table 2/3 traffic totals contain only
+// application traffic.
+func (tm *Tmk) BarrierSilent() {
+	tm.barrierReduce(nil, nil, stats.KindShutdown)
+}
+
+// shutdown quiesces the system and stops this node's request server.
+func (tm *Tmk) shutdown() {
+	tm.barrierReduce(nil, nil, stats.KindShutdown)
+	tm.p.Send(tm.sys.serverOf(tm.nd.id), tagExit, nil, 0, stats.KindShutdown)
+}
+
+// serve is the request-server loop: the stand-in for TreadMarks' SIGIO
+// handler. It services diff requests and lock traffic while the node's
+// application process computes.
+func (nd *node) serve(p *sim.Proc) {
+	c := nd.sys.costs
+	for {
+		m := p.Recv(sim.AnySrc, sim.AnyTag)
+		switch {
+		case m.Tag == tagExit:
+			return
+		case m.Tag == tagDiffReq:
+			p.Advance(c.HandlerWake)
+			resp, bytes := nd.handleDiffReq(p, m.Payload.(diffRequest))
+			p.Send(m.Src, tagDiffResp, resp, bytes, stats.KindDiff)
+		case m.Tag >= tagLockReq && m.Tag < tagLockReq+(1<<16):
+			p.Advance(c.HandlerWake)
+			nd.handleLockReq(p, m.Payload.(lockReqMsg))
+		case m.Tag >= tagLockForward && m.Tag < tagLockForward+(1<<16):
+			p.Advance(c.HandlerWake)
+			nd.handleLockForward(p, m.Payload.(lockReqMsg))
+		default:
+			panic("tmk: server received unexpected message")
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package xhpf implements the runtime targeted by the APR Forge XHPF
+// High Performance Fortran compiler (paper §2.4) on the simulated
+// message-passing machine. XHPF transforms an annotated sequential
+// program into an SPMD program: every processor executes the sequential
+// code (replicated, partially guarded), DO loops are distributed by the
+// owner-computes rule over user-specified data decompositions, and a
+// small runtime performs the communication the compiler generated.
+//
+// Two communication regimes mirror the compiler's abilities:
+//
+//   - Known access patterns (the regular applications): exact section
+//     sends — halo exchanges and transposes — although in the
+//     unaggregated, section-at-a-time form compiler-generated code
+//     produces.
+//   - Unknown access patterns (the irregular applications, where an
+//     indirection array defeats analysis): each processor broadcasts its
+//     whole partition to all other processors at the end of the parallel
+//     loop, "regardless of whether the data will actually be used".
+//
+// The generated code also synchronizes at parallel-loop boundaries
+// (LoopSync) and implements recognized reductions as all-reduces so the
+// replicated sequential code has the result everywhere.
+package xhpf
+
+import (
+	"repro/internal/model"
+	"repro/internal/pvm"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// System is an XHPF execution: an SPMD program on the message-passing
+// machine (XHPF and TreadMarks both use the user-level MPL library, so
+// the interconnect costs are shared).
+type System struct {
+	pv *pvm.System
+}
+
+// NewSystem creates an XHPF machine with nprocs processors.
+func NewSystem(nprocs int, costs model.Costs) *System {
+	return &System{pv: pvm.NewSystem(nprocs, costs)}
+}
+
+// Stats returns the interconnect statistics.
+func (s *System) Stats() *stats.Stats { return s.pv.Stats() }
+
+// NProcs returns the processor count.
+func (s *System) NProcs() int { return s.pv.NProcs() }
+
+// Run executes the SPMD body on every processor.
+func (s *System) Run(body func(x *XHPF)) error {
+	return s.pv.Run(func(pv *pvm.PVM) {
+		body(&XHPF{pv: pv, n: s.pv.NProcs()})
+	})
+}
+
+// XHPF is the per-processor runtime handle.
+type XHPF struct {
+	pv  *pvm.PVM
+	n   int
+	seq int // rolling tag sequence for runtime-generated communication
+}
+
+// ID returns the processor id.
+func (x *XHPF) ID() int { return x.pv.ID() }
+
+// NProcs returns the processor count.
+func (x *XHPF) NProcs() int { return x.n }
+
+// Advance charges compute time.
+func (x *XHPF) Advance(d sim.Time) { x.pv.Advance(d) }
+
+// Now returns the virtual clock.
+func (x *XHPF) Now() sim.Time { return x.pv.Now() }
+
+// PVM exposes the underlying message-passing handle for compiler-
+// generated explicit sends.
+func (x *XHPF) PVM() *pvm.PVM { return x.pv }
+
+// chargeSection bills the runtime's descriptor-driven gather/scatter
+// cost for moving n bytes through array sections.
+func (x *XHPF) chargeSection(bytes int) {
+	x.pv.Advance(x.pv.Costs().SectionCost(bytes))
+}
+
+// Block returns this processor's owned block [lo,hi) of a dimension of
+// extent n under BLOCK distribution.
+func (x *XHPF) Block(n int) (lo, hi int) {
+	return BlockOf(x.ID(), x.n, n)
+}
+
+// BlockOf returns processor p's block of extent-n under BLOCK
+// distribution.
+func BlockOf(p, nprocs, n int) (lo, hi int) {
+	chunk := (n + nprocs - 1) / nprocs
+	lo = p * chunk
+	hi = lo + chunk
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}
+
+// OwnerOf returns the owner of index i under BLOCK distribution.
+func OwnerOf(i, nprocs, n int) int {
+	chunk := (n + nprocs - 1) / nprocs
+	return i / chunk
+}
+
+// LoopSync is the synchronization the generated code performs at a
+// parallel-loop boundary: a runtime barrier, 2(n-1) messages.
+func (x *XHPF) LoopSync() {
+	x.seq += 2
+	x.pv.Barrier(1<<12 + x.seq)
+}
+
+// BroadcastPartition is the unknown-pattern fallback: every processor
+// broadcasts the owned section [lo,hi) of arr to every other processor,
+// and installs the sections it receives. n*(n-1) messages carrying the
+// entire array (n-1) times — the communication blow-up Table 3 shows for
+// the irregular applications under XHPF.
+// XHPF stages transfers through fixed-size runtime buffers; large
+// sections go out in chunks of this many bytes.
+const chunkBytes = 4096
+
+func BroadcastPartition[T pvm.Scalar](x *XHPF, arr []T, extent, elemSize int) {
+	x.seq += 2
+	tag := 1<<13 + x.seq
+	chunk := chunkBytes / elemSize
+	mylo, myhi := x.Block(extent)
+	if myhi > mylo {
+		x.chargeSection((myhi - mylo) * elemSize * (x.n - 1))
+	}
+	for q := 0; q < x.n; q++ {
+		if q == x.ID() {
+			continue
+		}
+		for off := mylo; off < myhi; off += chunk {
+			pvm.Send(x.pv, q, tag, arr[off:min(off+chunk, myhi)])
+		}
+	}
+	for q := 0; q < x.n; q++ {
+		if q == x.ID() {
+			continue
+		}
+		qlo, qhi := BlockOf(q, x.n, extent)
+		x.chargeSection((qhi - qlo) * elemSize)
+		for off := qlo; off < qhi; off += chunk {
+			pvm.Recv(x.pv, q, tag, arr[off:min(off+chunk, qhi)])
+		}
+	}
+}
+
+// BroadcastGather is the unknown-pattern fallback for reduction
+// buffers: every processor broadcasts its *entire* contribution buffer
+// (the compiler cannot tell which entries were touched through the
+// indirection array). parts[x.ID()] must hold this processor's own
+// contribution on entry; on return parts[q] holds processor q's buffer
+// on every processor, so callers can combine in a deterministic order.
+func BroadcastGather[T pvm.Scalar](x *XHPF, parts [][]T) {
+	x.seq += 2
+	tag := 1<<13 + x.seq
+	chunk := chunkBytes / 4
+	mine := parts[x.ID()]
+	x.chargeSection(len(mine) * 4 * (x.n - 1))
+	for q := 0; q < x.n; q++ {
+		if q == x.ID() {
+			continue
+		}
+		for off := 0; off < len(mine); off += chunk {
+			pvm.Send(x.pv, q, tag, mine[off:min(off+chunk, len(mine))])
+		}
+	}
+	for q := 0; q < x.n; q++ {
+		if q == x.ID() {
+			continue
+		}
+		buf := parts[q]
+		x.chargeSection(len(buf) * 4)
+		for off := 0; off < len(buf); off += chunk {
+			pvm.Recv(x.pv, q, tag, buf[off:min(off+chunk, len(buf))])
+		}
+	}
+}
+
+// ExchangeHalo performs the known-pattern nearest-neighbor exchange: the
+// owned block's first and last `width` elements go to the lower and
+// upper neighbor respectively, filling this processor's halo copies.
+// Column-distributed 2-D arrays pass width = column height.
+func ExchangeHalo[T pvm.Scalar](x *XHPF, arr []T, extent, width int) {
+	x.seq += 2
+	tag := 1<<13 + x.seq
+	lo, hi := x.Block(extent)
+	if lo >= hi {
+		return
+	}
+	me := x.ID()
+	if me > 0 {
+		x.chargeSection((min(lo+width, hi) - lo) * 4)
+		pvm.Send(x.pv, me-1, tag, arr[lo:min(lo+width, hi)])
+	}
+	if me < x.n-1 {
+		x.chargeSection((hi - max(hi-width, lo)) * 4)
+		pvm.Send(x.pv, me+1, tag, arr[max(hi-width, lo):hi])
+	}
+	if me > 0 {
+		pvm.Recv(x.pv, me-1, tag, arr[max(lo-width, 0):lo])
+	}
+	if me < x.n-1 {
+		pvm.Recv(x.pv, me+1, tag, arr[hi:min(hi+width, extent)])
+	}
+}
+
+// SectionAllToAll redistributes arr (length n*n conceptual matrix of
+// rows×cols elements handled by the caller through the section callback)
+// in the unaggregated per-section form XHPF generates for transposes:
+// each (source, destination) pair exchanges its intersection in chunks
+// of sectionLen elements, one message per chunk.
+func SectionAllToAll[T pvm.Scalar](x *XHPF, sectionLen, elemSize int,
+	sectionsFor func(dst int) [][]T, placeFor func(src int) [][]T) {
+	x.seq += 2
+	tag := 1<<13 + x.seq
+	me := x.ID()
+	for q := 0; q < x.n; q++ {
+		if q == me {
+			continue
+		}
+		for _, sec := range sectionsFor(q) {
+			x.chargeSection(len(sec) * elemSize)
+			for off := 0; off < len(sec); off += sectionLen {
+				end := min(off+sectionLen, len(sec))
+				pvm.Send(x.pv, q, tag, sec[off:end])
+			}
+		}
+	}
+	for q := 0; q < x.n; q++ {
+		if q == me {
+			continue
+		}
+		for _, sec := range placeFor(q) {
+			x.chargeSection(len(sec) * elemSize)
+			for off := 0; off < len(sec); off += sectionLen {
+				end := min(off+sectionLen, len(sec))
+				pvm.Recv(x.pv, q, tag, sec[off:end])
+			}
+		}
+	}
+}
+
+// Bcast is generated one-to-all communication: the owner of replicated
+// data updated under owner-computes ships it to every processor before
+// replicated sequential code uses it.
+func Bcast[T pvm.Scalar](x *XHPF, root int, vals []T) {
+	x.seq += 2
+	x.chargeSection(len(vals) * 4)
+	pvm.Bcast(x.pv, root, 1<<13+x.seq, vals)
+}
+
+// BoundarySync is an untracked barrier for measurement-region
+// boundaries (harness infrastructure, not generated code).
+func (x *XHPF) BoundarySync() {
+	x.seq += 2
+	x.pv.BarrierSilent(1<<12 + x.seq)
+}
+
+// AllReduceSum is a recognized reduction: summed to processor 0 and
+// rebroadcast, so the replicated sequential code has the value
+// everywhere.
+func AllReduceSum[T pvm.Scalar](x *XHPF, vals []T) []T {
+	x.seq += 4
+	return pvm.AllReduceSum(x.pv, 1<<13+x.seq, vals)
+}
+
+// AllReduceWith is a recognized reduction with an arbitrary operator
+// (MAX, MIN): folded to processor 0 and rebroadcast.
+func AllReduceWith[T pvm.Scalar](x *XHPF, vals []T, op func(a, b T) T) []T {
+	x.seq += 4
+	return pvm.AllReduce(x.pv, 1<<13+x.seq, vals, op)
+}
+
+// BroadcastBlocks is BroadcastPartition with a caller-supplied block
+// decomposition, for distributions that do not coincide with a flat
+// element block (e.g. whole-row blocks over a ragged row count).
+func BroadcastBlocks[T pvm.Scalar](x *XHPF, arr []T, blockOf func(q int) (lo, hi int), elemSize int) {
+	x.seq += 2
+	tag := 1<<13 + x.seq
+	chunk := chunkBytes / elemSize
+	mylo, myhi := blockOf(x.ID())
+	if myhi > mylo {
+		x.chargeSection((myhi - mylo) * elemSize * (x.n - 1))
+	}
+	for q := 0; q < x.n; q++ {
+		if q == x.ID() {
+			continue
+		}
+		for off := mylo; off < myhi; off += chunk {
+			pvm.Send(x.pv, q, tag, arr[off:min(off+chunk, myhi)])
+		}
+	}
+	for q := 0; q < x.n; q++ {
+		if q == x.ID() {
+			continue
+		}
+		qlo, qhi := blockOf(q)
+		x.chargeSection((qhi - qlo) * elemSize)
+		for off := qlo; off < qhi; off += chunk {
+			pvm.Recv(x.pv, q, tag, arr[off:min(off+chunk, qhi)])
+		}
+	}
+}

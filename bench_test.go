@@ -16,12 +16,14 @@ package repro
 // data sets.
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/model"
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tmk"
@@ -184,6 +186,37 @@ func BenchmarkSection8BarrierReduce(b *testing.B) {
 	}
 	b.Run("lock-based", func(b *testing.B) { run(b, false) })
 	b.Run("barrier-merged", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkProtocolComparison runs every application's representative
+// DSM version under each coherence protocol (homeless TreadMarks LRC
+// and home-based LRC) at 1-8 nodes, reporting per-protocol virtual
+// time, message count and data volume. The numerical results are
+// bit-identical across protocols (asserted by the equivalence tests in
+// internal/harness); these metrics are the part that differs.
+func BenchmarkProtocolComparison(b *testing.B) {
+	for _, a := range harness.Apps() {
+		v := harness.DSMVersionOf(a)
+		for _, procs := range harness.ProtocolProcCounts {
+			for _, p := range proto.Names() {
+				b.Run(fmt.Sprintf("%s/%s/p%d/%s", a.Name(), v, procs, p), func(b *testing.B) {
+					r := harness.NewRunner(procs, benchScale())
+					r.Protocol = p
+					var res core.Result
+					var err error
+					for i := 0; i < b.N; i++ {
+						res, err = r.Run(a, v)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(res.Time.Seconds()*1e3, "vtime-ms")
+					b.ReportMetric(float64(res.Stats.TotalMsgs()), "msgs")
+					b.ReportMetric(float64(res.Stats.TotalKB()), "data-KB")
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkModelSensitivity re-runs Jacobi's four versions under halved

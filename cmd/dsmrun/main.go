@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	dsmrun -app Jacobi -version tmk [-procs 8] [-scale mid]
+//	dsmrun -app Jacobi -version tmk [-procs 8] [-scale mid] [-protocol lrc|hlrc]
 //
 // Versions: seq, spf, tmk, xhpf, pvme, spf-opt, tmk-opt, spf-old
-// (availability varies by application; see -list).
+// (availability varies by application; see -list). The -protocol flag
+// selects the DSM coherence protocol for the shared-memory versions:
+// lrc (homeless TreadMarks LRC, the paper's protocol and the default)
+// or hlrc (home-based LRC).
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/proto"
 )
 
 func main() {
@@ -24,6 +28,7 @@ func main() {
 	version := flag.String("version", "tmk", "version to run")
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	scale := flag.String("scale", "mid", "problem scale: paper, mid, or small")
+	protocol := flag.String("protocol", "", "DSM coherence protocol: lrc (default) or hlrc")
 	list := flag.Bool("list", false, "list applications and versions")
 	flag.Parse()
 
@@ -42,13 +47,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	pname, err := proto.Parse(*protocol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	r := harness.NewRunner(*procs, harness.Scale(*scale))
+	r.Protocol = pname
 	res, err := r.Run(a, core.Version(*version))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("app=%s version=%s procs=%d scale=%s\n", res.App, res.Version, res.Procs, *scale)
+	fmt.Printf("app=%s version=%s procs=%d scale=%s", res.App, res.Version, res.Procs, *scale)
+	if res.Protocol != "" {
+		fmt.Printf(" protocol=%s", res.Protocol)
+	}
+	fmt.Println()
 	fmt.Printf("time      = %v\n", res.Time)
 	fmt.Printf("messages  = %d\n", res.Stats.TotalMsgs())
 	fmt.Printf("data      = %d KB\n", res.Stats.TotalKB())

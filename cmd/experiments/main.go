@@ -2,13 +2,16 @@
 //
 // Usage:
 //
-//	experiments [-procs 8] [-scale paper|mid|small] [-only table1,figure1,...]
+//	experiments [-procs 8] [-scale paper|mid|small] [-protocol lrc|hlrc] [-only table1,figure1,...]
 //
 // With no -only flag every experiment runs (Table 1, Figures 1-2,
 // Tables 2-3, the §5 hand optimizations, and the §2.3 interface
 // ablation). Paper scale matches Table 1's data sets and takes a few
 // minutes; mid scale preserves the page-granularity regime at a fraction
-// of the time.
+// of the time. The protocols experiment (-only protocols) compares the
+// homeless TreadMarks LRC against the home-based LRC on every
+// application at 1-8 nodes; -protocol selects the coherence protocol the
+// other experiments run under (default: lrc, the paper's).
 package main
 
 import (
@@ -18,15 +21,23 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/proto"
 )
 
 func main() {
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	scale := flag.String("scale", "paper", "problem scale: paper, mid, or small")
-	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface)")
+	protocol := flag.String("protocol", "", "DSM coherence protocol: lrc (default) or hlrc")
+	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols)")
 	flag.Parse()
 
+	pname, err := proto.Parse(*protocol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	r := harness.NewRunner(*procs, harness.Scale(*scale))
+	r.Protocol = pname
 	run := func(name string, f func(w *os.File, r *harness.Runner) error) {
 		if err := f(os.Stdout, r); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
@@ -45,6 +56,7 @@ func main() {
 		"scalability": func(w *os.File, r *harness.Runner) error {
 			return harness.Scalability(w, r, "Jacobi", []int{2, 4, 8})
 		},
+		"protocols": func(w *os.File, r *harness.Runner) error { return harness.Protocols(w, r) },
 	}
 	order := []string{"table1", "figure1", "table2", "figure2", "table3", "handopt", "interface"}
 	want := order
@@ -54,7 +66,7 @@ func main() {
 	for _, name := range want {
 		f, ok := table[strings.TrimSpace(name)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability)\n", name, strings.Join(order, ", "))
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability, protocols)\n", name, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		run(name, f)

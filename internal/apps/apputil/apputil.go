@@ -23,7 +23,7 @@ type SeqProgram struct {
 // RunSeq measures a sequential program on a 1-process TreadMarks system
 // (synchronization removed, per paper §3) charging only compute costs.
 func RunSeq(app string, cfg core.Config, setup func(tm *tmk.Tmk) SeqProgram) (core.Result, error) {
-	sys := tmk.NewSystem(1, cfg.Costs)
+	sys := tmk.NewSystem(1, cfg.Costs, tmk.WithProtocol(cfg.Protocol))
 	reg := core.NewRegion(1)
 	var sum float64
 	err := sys.Run(func(tm *tmk.Tmk) {
@@ -59,7 +59,7 @@ type TmkProgram struct {
 
 // RunTmk measures a TreadMarks program.
 func RunTmk(app string, v core.Version, cfg core.Config, setup func(tm *tmk.Tmk) TmkProgram) (core.Result, error) {
-	sys := tmk.NewSystem(cfg.Procs, cfg.Costs)
+	sys := tmk.NewSystem(cfg.Procs, cfg.Costs, tmk.WithProtocol(cfg.Protocol))
 	reg := core.NewRegion(cfg.Procs)
 	var sum float64
 	profiles := make([]tmk.Profile, cfg.Procs)
@@ -96,7 +96,7 @@ func RunTmk(app string, v core.Version, cfg core.Config, setup func(tm *tmk.Tmk)
 		return core.Result{}, err
 	}
 	res := core.Result{
-		App: app, Version: v, Procs: cfg.Procs,
+		App: app, Version: v, Procs: cfg.Procs, Protocol: sys.Protocol(),
 		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
 	}
 	for _, pr := range profiles {
@@ -120,7 +120,7 @@ type SPFProgram struct {
 // master's snapshots cleanly separate warm-up from timed traffic.
 func RunSPF(app string, v core.Version, cfg core.Config, opts spf.Options,
 	setup func(rt *spf.Runtime) SPFProgram) (core.Result, error) {
-	sys := tmk.NewSystem(cfg.Procs, cfg.Costs)
+	sys := tmk.NewSystem(cfg.Procs, cfg.Costs, tmk.WithProtocol(cfg.Protocol))
 	reg := core.NewRegion(1)
 	var sum float64
 	err := spf.Run(sys, opts, func(rt *spf.Runtime) {
@@ -146,7 +146,7 @@ func RunSPF(app string, v core.Version, cfg core.Config, opts spf.Options,
 		return core.Result{}, err
 	}
 	return core.Result{
-		App: app, Version: v, Procs: cfg.Procs,
+		App: app, Version: v, Procs: cfg.Procs, Protocol: sys.Protocol(),
 		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
 	}, nil
 }

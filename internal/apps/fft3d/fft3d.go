@@ -272,18 +272,26 @@ func runTmk(cfg core.Config) (core.Result, error) {
 		me, nprocs := tm.ID(), tm.NProcs()
 		x := tmk.Alloc[complex128](tm, "x", total)
 		xt := tmk.Alloc[complex128](tm, "xt", total)
-		partial := tmk.Alloc[float64](tm, "csum", 8)
+		// One (re,im) slot per node: the lock serializes the shared-page
+		// writes as in the paper, but each node only touches its own slot
+		// and node 0 folds them in node order, so the reduced value does
+		// not depend on lock-grant order (which varies with the coherence
+		// protocol's timing; the cross-protocol equivalence tests rely on
+		// this).
+		partial := tmk.Alloc[float64](tm, "csum", 2*nprocs)
 		p3lo, p3hi := apputil.BlockOf(me, nprocs, kn.n3)
 		b2lo, b2hi := apputil.BlockOf(me, nprocs, kn.n2)
 		var sum complex128
 		return apputil.TmkProgram{
 			Iterate: func(k int) {
 				if me == 0 {
-					// Reset the checksum accumulator; the previous
-					// iteration's adds are ordered before this write by the
+					// Reset the checksum slots; the previous iteration's
+					// writes are ordered before this one by the
 					// end-of-iteration barrier.
-					w := partial.Write(0, 2)
-					w[0], w[1] = 0, 0
+					w := partial.Write(0, 2*nprocs)
+					for q := 0; q < 2*nprocs; q++ {
+						w[q] = 0
+					}
 				}
 				wx := x.Write(p3lo*kn.n2*kn.n1, p3hi*kn.n2*kn.n1)
 				touches := kn.initPlanes(wx, p3lo, p3hi, k)
@@ -300,15 +308,18 @@ func runTmk(cfg core.Config) (core.Result, error) {
 				s, t := kn.checksumRows(wxt, idx, b2lo, b2hi)
 				touches += t
 				tm.AcquireLock(3)
-				w := partial.Write(0, 2)
-				w[0] += real(s)
-				w[1] += imag(s)
+				w := partial.Write(2*me, 2*me+2)
+				w[2*me] = real(s)
+				w[2*me+1] = imag(s)
 				tm.ReleaseLock(3)
 				chargeFFT(tm.Advance, cfg, b, touches)
 				tm.Barrier() // end of iteration, after the checksum
 				if me == 0 {
-					g := partial.Read(0, 2)
-					sum = complex(g[0], g[1])
+					g := partial.Read(0, 2*nprocs)
+					sum = 0
+					for q := 0; q < nprocs; q++ {
+						sum += complex(g[2*q], g[2*q+1])
+					}
 				}
 			},
 			Checksum: func() float64 { return sumComplex(sum) },
@@ -354,9 +365,9 @@ func runSPF(cfg core.Config, aggregated bool) (core.Result, error) {
 		tm := rt.Tmk()
 		x := tmk.Alloc[complex128](tm, "x", total)
 		xt := tmk.Alloc[complex128](tm, "xt", total)
-		reSum := spf.NewReduction(rt, "re")
-		imSum := spf.NewReduction(rt, "im")
 		add := func(a, b float64) float64 { return a + b }
+		reSum := spf.NewReduction(rt, "re", add)
+		imSum := spf.NewReduction(rt, "im", add)
 
 		initLoop := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
 			if hi <= lo {
@@ -403,8 +414,8 @@ func runSPF(cfg core.Config, aggregated bool) (core.Result, error) {
 			g := xt.Read(lo*kn.n3*kn.n1, hi*kn.n3*kn.n1)
 			s, t := kn.checksumRows(g, idx, lo, hi)
 			chargeFFT(rt.Advance, cfg, 0, t)
-			reSum.Combine(rt, real(s), add)
-			imSum.Combine(rt, imag(s), add)
+			reSum.Combine(rt, real(s))
+			imSum.Combine(rt, imag(s))
 		})
 		return apputil.SPFProgram{
 			IterateMaster: func(k int) {

@@ -179,9 +179,13 @@ func runTmk(cfg core.Config) (core.Result, error) {
 	return apputil.RunTmk("IGrid", core.Tmk, cfg, func(tm *tmk.Tmk) apputil.TmkProgram {
 		a := tmk.Alloc[float32](tm, "a", n*n)
 		b := tmk.Alloc[float32](tm, "b", n*n)
-		red := tmk.Alloc[float64](tm, "red", 8) // max, min, sum (one page)
-		idx := buildMap(n)                      // private: the map is read-only
 		me, nprocs := tm.ID(), tm.NProcs()
+		// max, min, then one sum slot per node: max/min updates are
+		// order-independent, but the float sum must fold in node order,
+		// not lock-grant order (which varies with the coherence
+		// protocol's timing — cross-protocol equivalence relies on this).
+		red := tmk.Alloc[float64](tm, "red", 2+nprocs)
+		idx := buildMap(n) // private: the map is read-only
 		rlo, rhi := apputil.BlockOf(me, nprocs, n-2)
 		rlo, rhi = rlo+1, rhi+1
 		if me == 0 {
@@ -189,8 +193,11 @@ func runTmk(cfg core.Config) (core.Result, error) {
 			initOld(w, n)
 			wb := b.Write(0, n*n)
 			copy(wb[:n*n], w[:n*n])
-			r := red.Write(0, 3)
-			r[0], r[1], r[2] = -1e30, 1e30, 0
+			r := red.Write(0, 2+nprocs)
+			r[0], r[1] = -1e30, 1e30
+			for q := 0; q < nprocs; q++ {
+				r[2+q] = 0
+			}
 		}
 		tm.Barrier()
 		old, cur := a, b
@@ -212,14 +219,14 @@ func runTmk(cfg core.Config) (core.Result, error) {
 					tm.Advance(apputil.Cost(cells, cfg.App.IGridReduce))
 					if cells > 0 {
 						tm.AcquireLock(7)
-						r := red.Write(0, 3)
+						r := red.Write(0, 2+nprocs)
 						if float64(mx) > r[0] {
 							r[0] = float64(mx)
 						}
 						if float64(mn) < r[1] {
 							r[1] = float64(mn)
 						}
-						r[2] += s
+						r[2+me] = s
 						tm.ReleaseLock(7)
 					}
 					tm.Barrier()
@@ -248,9 +255,9 @@ func runSPF(cfg core.Config) (core.Result, error) {
 		oldArr := tmk.Alloc[float32](tm, "old", n*n)
 		newArr := tmk.Alloc[float32](tm, "new", n*n)
 		idx := buildMap(n)
-		maxRed := spf.NewReduction(rt, "max")
-		minRed := spf.NewReduction(rt, "min")
-		sumRed := spf.NewReduction(rt, "sum")
+		maxRed := spf.NewReduction(rt, "max", func(x, y float64) float64 { return max(x, y) })
+		minRed := spf.NewReduction(rt, "min", func(x, y float64) float64 { return min(x, y) })
+		sumRed := spf.NewReduction(rt, "sum", func(x, y float64) float64 { return x + y })
 		relax := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
 			if hi <= lo {
 				return
@@ -274,9 +281,9 @@ func runSPF(cfg core.Config) (core.Result, error) {
 			mx, mn, s, cells := reduceRows(g, n, lo, hi)
 			rt.Advance(apputil.Cost(cells, cfg.App.IGridReduce))
 			if cells > 0 {
-				maxRed.Combine(rt, float64(mx), func(x, y float64) float64 { return max(x, y) })
-				minRed.Combine(rt, float64(mn), func(x, y float64) float64 { return min(x, y) })
-				sumRed.Combine(rt, s, func(x, y float64) float64 { return x + y })
+				maxRed.Combine(rt, float64(mx))
+				minRed.Combine(rt, float64(mn))
+				sumRed.Combine(rt, s)
 			}
 		})
 		if rt.IsMaster() {
@@ -298,7 +305,9 @@ func runSPF(cfg core.Config) (core.Result, error) {
 			},
 			Checksum: func() float64 {
 				g := oldArr.Read(0, n*n)
-				return float64(float32(maxRed.Value()))*1e3 + float64(float32(minRed.Value())) + apputil.Sum64(g[:n*n])
+				return float64(float32(maxRed.Value()))*1e3 +
+					float64(float32(minRed.Value())) +
+					apputil.Sum64(g[:n*n])
 			},
 		}
 	})

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -62,6 +63,11 @@ type Config struct {
 	Warmup int // untimed leading iterations (paper: 1)
 	Costs  model.Costs
 	App    model.AppCosts
+
+	// Protocol selects the DSM coherence protocol for the TreadMarks
+	// based versions (empty: the homeless TreadMarks LRC). Message
+	// passing versions ignore it.
+	Protocol proto.Name
 }
 
 // Result is the outcome of one (application, version, procs) run.
@@ -69,7 +75,8 @@ type Result struct {
 	App      string
 	Version  Version
 	Procs    int
-	Time     sim.Time // elapsed virtual time of the timed region
+	Protocol proto.Name // coherence protocol (DSM versions only)
+	Time     sim.Time   // elapsed virtual time of the timed region
 	Stats    stats.Stats
 	Checksum float64
 

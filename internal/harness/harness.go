@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps/shallow"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/proto"
 )
 
 // Apps returns the six applications in the paper's order.
@@ -48,11 +49,12 @@ const (
 
 // Runner executes and caches application runs.
 type Runner struct {
-	Procs int
-	Scale Scale
-	Costs model.Costs
-	App   model.AppCosts
-	cache map[string]core.Result
+	Procs    int
+	Scale    Scale
+	Costs    model.Costs
+	App      model.AppCosts
+	Protocol proto.Name // DSM coherence protocol (empty: homeless LRC)
+	cache    map[string]core.Result
 }
 
 // NewRunner builds a Runner with the calibrated SP/2 model.
@@ -96,6 +98,7 @@ func (r *Runner) Config(app core.App, procs int) core.Config {
 	}
 	cfg.Costs = r.Costs
 	cfg.App = r.App
+	cfg.Protocol = r.Protocol
 	return cfg
 }
 
@@ -105,7 +108,7 @@ func (r *Runner) Run(app core.App, v core.Version) (core.Result, error) {
 	if v == core.Seq {
 		procs = 1
 	}
-	key := fmt.Sprintf("%s/%s/%d/%s", app.Name(), v, procs, r.Scale)
+	key := fmt.Sprintf("%s/%s/%d/%s/%s", app.Name(), v, procs, r.Scale, r.Protocol)
 	if res, ok := r.cache[key]; ok {
 		return res, nil
 	}

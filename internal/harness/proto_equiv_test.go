@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// TestProtocolEquivalence is the cross-protocol equivalence table: every
+// DSM version of every application — including the optimized variants,
+// whose push, broadcast and aggregation paths interact with the
+// protocol differently — runs under both coherence protocols at 1, 2, 4
+// and 8 nodes. The checksums must be bit-identical — the protocol may
+// change only virtual time, message counts and byte volumes — and, for
+// the representative version, a repeated run must reproduce the
+// per-protocol message and byte counts exactly (the simulator is
+// deterministic, so any drift is a protocol-state leak).
+func TestProtocolEquivalence(t *testing.T) {
+	for _, a := range Apps() {
+		rep := DSMVersionOf(a)
+		for _, v := range DSMVersions(a) {
+			for _, procs := range ProtocolProcCounts {
+				t.Run(fmt.Sprintf("%s/%s/p%d", a.Name(), v, procs), func(t *testing.T) {
+					base := NewRunner(procs, SmallScale)
+					first, err := base.RunProtocols(a, v, procs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, res := range first[1:] {
+						if res.Checksum != first[0].Checksum {
+							t.Errorf("checksum under %s = %v, want %v (as under %s)",
+								res.Protocol, res.Checksum, first[0].Checksum, first[0].Protocol)
+						}
+					}
+					if v != rep {
+						return
+					}
+					again, err := base.RunProtocols(a, v, procs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, p := range proto.Names() {
+						f, g := first[i], again[i]
+						if f.Protocol != p || g.Protocol != p {
+							t.Fatalf("result order: got %s/%s, want %s", f.Protocol, g.Protocol, p)
+						}
+						if f.Checksum != g.Checksum || f.Time != g.Time ||
+							f.Stats.TotalMsgs() != g.Stats.TotalMsgs() || f.Stats.TotalBytes() != g.Stats.TotalBytes() {
+							t.Errorf("%s not repeatable: (checksum %v, time %v, msgs %d, bytes %d) vs (%v, %v, %d, %d)",
+								p, f.Checksum, f.Time, f.Stats.TotalMsgs(), f.Stats.TotalBytes(),
+								g.Checksum, g.Time, g.Stats.TotalMsgs(), g.Stats.TotalBytes())
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package harness
+
+import (
+	"io"
+	"testing"
+)
+
+func TestProtocolsQuick(t *testing.T) {
+	r := NewRunner(4, SmallScale)
+	if err := Protocols(io.Discard, r); err != nil {
+		t.Fatal(err)
+	}
+}

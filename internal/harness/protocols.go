@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// The protocol-comparison experiment: every application runs under each
+// coherence protocol (homeless TreadMarks LRC and home-based LRC) at a
+// sweep of node counts. The numerical results must be bit-identical —
+// the protocol choice may change only virtual time, message counts and
+// byte volumes, which is precisely what the table reports.
+
+// ProtocolProcCounts is the node-count sweep of the protocol experiment.
+var ProtocolProcCounts = []int{1, 2, 4, 8}
+
+// DSMVersionOf picks the application's representative DSM version for
+// protocol comparisons: the hand-coded TreadMarks version when the
+// application has one, otherwise the compiler-generated SPF version.
+func DSMVersionOf(a core.App) core.Version {
+	for _, v := range a.Versions() {
+		if v == core.Tmk {
+			return core.Tmk
+		}
+	}
+	return core.SPF
+}
+
+// DSMVersions filters an application's versions to those that run on
+// the DSM and therefore under a coherence protocol — including the
+// optimized and legacy-interface variants, whose push/broadcast/
+// aggregation paths interact with the protocol differently than the
+// base versions do.
+func DSMVersions(a core.App) []core.Version {
+	var out []core.Version
+	for _, v := range a.Versions() {
+		switch v {
+		case core.Tmk, core.TmkOpt, core.TmkPush, core.SPF, core.SPFOpt, core.SPFOld:
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// sub derives a runner with the same calibration at a different node
+// count and protocol, sharing nothing (each owns its cache).
+func (r *Runner) sub(procs int, p proto.Name) *Runner {
+	nr := NewRunner(procs, r.Scale)
+	nr.Costs, nr.App, nr.Protocol = r.Costs, r.App, p
+	return nr
+}
+
+// RunProtocols executes one (application, version, procs) run under
+// every protocol and returns the results in proto.Names() order.
+func (r *Runner) RunProtocols(a core.App, v core.Version, procs int) ([]core.Result, error) {
+	out := make([]core.Result, 0, len(proto.Names()))
+	for _, p := range proto.Names() {
+		res, err := r.sub(procs, p).Run(a, v)
+		if err != nil {
+			return nil, fmt.Errorf("%s under %s: %w", a.Name(), p, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Protocols prints the protocol-comparison experiment and verifies the
+// cross-protocol result equivalence as it goes: a checksum divergence is
+// an error, not a table entry.
+func Protocols(w io.Writer, r *Runner) error {
+	fmt.Fprintf(w, "Protocol comparison: homeless LRC (lrc) vs home-based LRC (hlrc)%s\n", scaleNote(r.Scale))
+	fmt.Fprintf(w, "%-9s %-8s %5s |", "App", "version", "procs")
+	for _, p := range proto.Names() {
+		fmt.Fprintf(w, " %10s(t) %9s(msg) %7s(KB) |", p, p, p)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "--------------------------------------------------------------------------------------------------")
+	for _, a := range Apps() {
+		v := DSMVersionOf(a)
+		for _, procs := range ProtocolProcCounts {
+			results, err := r.RunProtocols(a, v, procs)
+			if err != nil {
+				return err
+			}
+			for _, res := range results[1:] {
+				if res.Checksum != results[0].Checksum {
+					return fmt.Errorf("protocol divergence: %s/%s procs=%d: %s checksum %g != %s checksum %g",
+						a.Name(), v, procs, res.Protocol, res.Checksum, results[0].Protocol, results[0].Checksum)
+				}
+			}
+			fmt.Fprintf(w, "%-9s %-8s %5d |", a.Name(), v, procs)
+			for _, res := range results {
+				fmt.Fprintf(w, " %13v %14d %11d |", res.Time, res.Stats.TotalMsgs(), res.Stats.TotalKB())
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "(checksums verified bit-identical across protocols for every row)")
+	return nil
+}

@@ -1,0 +1,323 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The home-based LRC protocol (HLRC, after Zhou/Iftode/Li's home-based
+// protocols and Cudennec's survey of S-DSM design axes): every page has
+// a statically assigned home node whose copy is the master copy.
+//
+//   - Homes are assigned block-wise within each region, so under an
+//     owner-computes block distribution most writes land on self-homed
+//     pages, which need neither twins nor flushes.
+//   - At every release, the writer extracts the diffs of its dirtied
+//     remote-homed pages and flushes them to the homes, one message per
+//     home, and waits for the acknowledgments before the release
+//     completes. This makes the home's copy current before any causally
+//     later acquire can observe the release — the invariant the fetch
+//     path relies on.
+//   - Write notices (invalidations) propagate exactly as in the homeless
+//     protocol, through the shared LRC core.
+//   - A fault fetches the whole page from its home in one round trip,
+//     regardless of how many writers modified it: fewer messages than
+//     homeless diff collection on multi-writer pages, more bytes than a
+//     sparse diff.
+//
+// The protocol trades release latency (synchronous flush round trip) and
+// whole-page transfer volume for single-round-trip faults and zero diff
+// storage at third parties. Race-free programs compute bit-identical
+// results under both protocols; the equivalence tests in
+// internal/harness assert this on every application.
+
+// homePage is the home protocol's extra per-page state.
+type homePage struct {
+	home int // statically assigned home node
+}
+
+type home struct {
+	lrcCore
+	meta []homePage
+}
+
+func newHome(h Host) *home {
+	hb := &home{}
+	hb.init(h)
+	return hb
+}
+
+func (hb *home) Name() Name { return HomeLRC }
+
+// AddPages assigns homes block-wise across the new region's pages: page
+// i of an npages region is homed on node i*nprocs/npages, matching the
+// BLOCK data distribution every regular application uses, so the common
+// case writes self-homed pages.
+func (hb *home) AddPages(npages int) {
+	hb.addPages(npages)
+	for i := 0; i < npages; i++ {
+		hb.meta = append(hb.meta, homePage{home: i * hb.nprocs / npages})
+	}
+}
+
+func (hb *home) homeOf(gp int32) int { return hb.meta[gp].home }
+
+// WriteTouch: self-homed pages skip twinning — the node's copy is the
+// master copy, so write detection (for notices) is all that is needed.
+func (hb *home) WriteTouch(gp int32) {
+	hb.writeTouch(gp, hb.homeOf(gp) != hb.id)
+}
+
+// flushPage is one page's diff inside a flush message.
+type flushPage struct {
+	page    int32
+	payload any
+	bytes   int
+}
+
+// flushMsg carries a release's diffs for the pages homed at one node.
+type flushMsg struct {
+	writer   int
+	interval int32 // the releasing interval the diffs belong to
+	shutdown bool  // classify the ack as shutdown traffic too
+	pages    []flushPage
+}
+
+// Release closes the open interval after eagerly flushing the dirtied
+// remote-homed pages' diffs to their homes. The release blocks until
+// every home has acknowledged, so the homes are current before any
+// causally later acquire.
+func (hb *home) Release(kind stats.Kind) {
+	p := hb.h.AppProc()
+	c := hb.h.Costs()
+	flushKind := stats.KindDiff
+	shutdown := kind == stats.KindShutdown
+	if shutdown {
+		flushKind = stats.KindShutdown
+	}
+
+	perHome := map[int][]flushPage{}
+	for _, gp := range hb.dirty {
+		hm := hb.homeOf(gp)
+		if hm == hb.id {
+			continue // the live copy is the master copy
+		}
+		pc := &hb.pages[gp]
+		if !pc.hasTwin {
+			panic("proto: dirty remote-homed page without twin")
+		}
+		payload, bytes := hb.h.ExtractDiff(gp, false)
+		pc.hasTwin = false
+		hb.ctr.DiffsMade++
+		perHome[hm] = append(perHome[hm], flushPage{page: gp, payload: payload, bytes: bytes})
+		p.Advance(c.DiffCreateCost(diffChangedBytes(bytes)))
+	}
+	homes := make([]int, 0, len(perHome))
+	for hm := range perHome {
+		homes = append(homes, hm)
+	}
+	sort.Ints(homes)
+	for _, hm := range homes {
+		msg := flushMsg{writer: hb.id, interval: hb.curInterval, shutdown: shutdown, pages: perHome[hm]}
+		bytes := flushHdr
+		for _, fp := range msg.pages {
+			bytes += fp.bytes
+		}
+		p.Send(hb.h.ServerOf(hm), tagFlush, msg, bytes, flushKind)
+	}
+	hb.closeInterval()
+	for _, hm := range homes {
+		p.Recv(hb.h.ServerOf(hm), tagFlushAck)
+	}
+}
+
+// pageNeed asks the home for a page, carrying the requester's pending
+// notice vector for it. The home asserts its copy already covers the
+// need — guaranteed by the acknowledged-flush-before-release invariant.
+type pageNeed struct {
+	page int32
+	need []int32
+}
+
+type pageReq struct {
+	pages []pageNeed
+}
+
+// pageCopy is one page in a reply: the full contents plus the home's
+// applied vector, which settles the requester's notices for every
+// writer at once.
+type pageCopy struct {
+	page    int32
+	data    any
+	bytes   int
+	applied []int32
+}
+
+type pageResp struct {
+	pages []pageCopy
+}
+
+// Fault repairs an invalid page with a single whole-page fetch from its
+// home: a one-page aggregated fetch (same messages, bytes and costs).
+func (hb *home) Fault(gp int32) { hb.FetchAggregated([]int32{gp}) }
+
+// FetchAggregated repairs all invalid pages of gps with one whole-page
+// request per distinct home.
+func (hb *home) FetchAggregated(gps []int32) {
+	p := hb.h.AppProc()
+	c := hb.h.Costs()
+	perHome := map[int][]pageNeed{}
+	local := map[int32]any{}
+	for _, gp := range gps {
+		if !hb.pages[gp].invalid() {
+			continue
+		}
+		hm := hb.homeOf(gp)
+		if hm == hb.id {
+			panic("proto: home node faulted on its own page (flush invariant broken)")
+		}
+		if payload, ok := hb.extractLocal(gp, p); ok {
+			local[gp] = payload
+		}
+		perHome[hm] = append(perHome[hm], hb.needOf(gp))
+	}
+	if len(perHome) == 0 {
+		return
+	}
+	p.Advance(c.ReadFault) // one access miss covers the whole range
+	hb.ctr.Faults++
+	homes := make([]int, 0, len(perHome))
+	for hm := range perHome {
+		homes = append(homes, hm)
+	}
+	sort.Ints(homes)
+	for _, hm := range homes {
+		req := pageReq{pages: perHome[hm]}
+		bytes := pageReqHdr + len(req.pages)*(pageReqPerPage+pageRespPerVC*hb.nprocs)
+		p.Send(hb.h.ServerOf(hm), tagPageReq, req, bytes, stats.KindPageReq)
+	}
+	for _, hm := range homes {
+		m := p.Recv(hb.h.ServerOf(hm), tagPageResp)
+		for _, pg := range m.Payload.(pageResp).pages {
+			hb.installPage(p, pg, local)
+		}
+	}
+}
+
+// extractLocal preserves this node's unreleased writes to gp before the
+// page is overwritten by the home's copy (the multiple-writer case). It
+// returns the diff payload to re-apply after installation, if any.
+func (hb *home) extractLocal(gp int32, p *sim.Proc) (any, bool) {
+	pc := &hb.pages[gp]
+	if !pc.hasTwin {
+		return nil, false
+	}
+	payload, bytes := hb.h.ExtractDiff(gp, false)
+	pc.hasTwin = false
+	hb.ctr.DiffsMade++
+	p.Advance(hb.h.Costs().DiffCreateCost(diffChangedBytes(bytes)))
+	return payload, true
+}
+
+// needOf snapshots the page's pending notice vector for a request.
+func (hb *home) needOf(gp int32) pageNeed {
+	need := make([]int32, hb.nprocs)
+	copy(need, hb.pages[gp].notice)
+	return pageNeed{page: gp, need: need}
+}
+
+// installPage installs a fetched page copy: overwrite the local page,
+// settle the notice table from the home's applied vector, and re-apply
+// any preserved local writes on a refreshed twin (so the next flush
+// diffs against the home image).
+func (hb *home) installPage(p *sim.Proc, pg pageCopy, local map[int32]any) {
+	c := hb.h.Costs()
+	pc := &hb.pages[pg.page]
+	hb.h.InstallPage(pg.page, pg.data)
+	hb.ctr.PageFetches++
+	for q := 0; q < hb.nprocs; q++ {
+		if q != hb.id && pg.applied[q] > pc.applied[q] {
+			pc.applied[q] = pg.applied[q]
+		}
+	}
+	p.Advance(c.PageCopy)
+	if payload, ok := local[pg.page]; ok {
+		hb.h.MakeTwin(pg.page) // twin = home image: next diff is ours alone
+		pc.hasTwin = true
+		pc.twinWrite = hb.curInterval
+		hb.h.ApplyDiff(pg.page, payload)
+		hb.ctr.DiffsApplied++
+		p.Advance(c.DiffApply)
+	}
+}
+
+// FirePushes: the push optimization ships diff records, which only the
+// homeless protocol keeps; under HLRC every release already pushes diffs
+// to the home eagerly, so directives and expectations are ignored and
+// consumers fetch from the home on demand.
+func (hb *home) FirePushes(p *sim.Proc, seq int, kind stats.Kind, pushes []*PushDirective, expects []int) {
+}
+
+// HandleServer services home-side traffic: eager flushes and whole-page
+// fetch requests.
+func (hb *home) HandleServer(p *sim.Proc, m *sim.Message) bool {
+	c := hb.h.Costs()
+	switch m.Tag {
+	case tagFlush:
+		p.Advance(c.HandlerWake)
+		fm := m.Payload.(flushMsg)
+		for _, fp := range fm.pages {
+			if hb.homeOf(fp.page) != hb.id {
+				panic("proto: flush for a page not homed here")
+			}
+			pc := &hb.pages[fp.page]
+			hb.h.ApplyDiff(fp.page, fp.payload)
+			hb.ctr.DiffsApplied++
+			if fm.interval > pc.applied[fm.writer] {
+				pc.applied[fm.writer] = fm.interval
+			}
+			p.Advance(c.DiffApplyCost(diffChangedBytes(fp.bytes)))
+		}
+		ackKind := stats.KindControl
+		if fm.shutdown {
+			ackKind = stats.KindShutdown
+		}
+		p.Send(m.Src, tagFlushAck, nil, flushAckBytes, ackKind)
+		return true
+	case tagPageReq:
+		p.Advance(c.HandlerWake)
+		req := m.Payload.(pageReq)
+		var resp pageResp
+		bytes := pageRespHdr
+		for _, pn := range req.pages {
+			if hb.homeOf(pn.page) != hb.id {
+				panic("proto: page request for a page not homed here")
+			}
+			pc := &hb.pages[pn.page]
+			for q := 0; q < hb.nprocs; q++ {
+				if q == hb.id {
+					continue // own writes are in the live copy by definition
+				}
+				if pn.need[q] > pc.applied[q] {
+					panic(fmt.Sprintf(
+						"proto: home %d behind on page %d: need interval %d of writer %d, have %d "+
+							"(flush-before-release invariant broken)",
+						hb.id, pn.page, pn.need[q], q, pc.applied[q]))
+				}
+			}
+			data, sz := hb.h.SnapshotPage(pn.page)
+			applied := make([]int32, hb.nprocs)
+			copy(applied, pc.applied)
+			// The copy carries every released write of the home itself.
+			applied[hb.id] = hb.vc[hb.id]
+			resp.pages = append(resp.pages, pageCopy{page: pn.page, data: data, bytes: sz, applied: applied})
+			bytes += sz + pageRespPerVC*hb.nprocs
+		}
+		p.Send(m.Src, tagPageResp, resp, bytes, stats.KindPage)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,378 @@
+package proto
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The homeless (TreadMarks) protocol, moved from internal/tmk: lazy
+// invalidate release consistency where diffs stay distributed at their
+// writers. A faulting node fetches the missing diffs from every writer
+// with pending notices; diff creation is lazy and one diff can satisfy a
+// whole run of write notices from the same process (diff accumulation).
+
+// GCThreshold is the per-page diff-record count that triggers a squash,
+// bounding diff storage like TreadMarks' garbage collection. The squash
+// is only applied to pages this node is the sole writer of — merging
+// records across an interference boundary could reorder causally related
+// writes from different nodes. Exported so tests can size workloads
+// past the trigger.
+const GCThreshold = 32
+
+// diffRec is one extracted diff for a page: a payload of typed segments.
+// Records for one page form a chain at the writer (seq ascending); a
+// requester holding the chain through some seq needs only newer records.
+// upto is the highest *released* writer interval the record covers (for
+// settling write notices) and order is the causal sort key (vector-clock
+// sum at release), strictly increasing along happens-before.
+type diffRec struct {
+	page    int32
+	seq     int32
+	upto    int32
+	order   int64
+	payload any
+	bytes   int
+}
+
+// homelessPage is the homeless protocol's extra per-page state.
+type homelessPage struct {
+	appliedSeq []int32 // appliedSeq[q]: highest record seq of q applied here
+	recSeq     int32   // this node's record chain position for the page
+}
+
+type homeless struct {
+	lrcCore
+	meta []homelessPage
+	recs map[int32][]*diffRec
+}
+
+func newHomeless(h Host) *homeless {
+	hl := &homeless{recs: map[int32][]*diffRec{}}
+	hl.init(h)
+	return hl
+}
+
+func (hl *homeless) Name() Name { return HomelessLRC }
+
+func (hl *homeless) AddPages(npages int) {
+	hl.addPages(npages)
+	for i := 0; i < npages; i++ {
+		hl.meta = append(hl.meta, homelessPage{appliedSeq: make([]int32, hl.nprocs)})
+	}
+}
+
+func (hl *homeless) WriteTouch(gp int32) { hl.writeTouch(gp, true) }
+
+// Release is a pure local operation under the homeless protocol: diffs
+// stay here until requested.
+func (hl *homeless) Release(stats.Kind) { hl.closeInterval() }
+
+// diffRequest asks a writer for the diffs of a set of pages.
+type diffRequest struct {
+	pages []pageAsk
+}
+
+type pageAsk struct {
+	page    int32
+	fromSeq int32 // requester's appliedSeq[writer]: send newer records only
+}
+
+// diffResponse carries the records satisfying one request.
+type diffResponse struct {
+	recs []*diffRec
+}
+
+// extractPending encodes the pending diff for gp (if any), appending it
+// to the page's record chain, and runs GC when the chain grows long. p is
+// the process paying the CPU cost: the application process at faults, the
+// server process when answering requests.
+//
+// Labeling: upto is capped at the last *released* interval — a record
+// extracted mid-interval carries this node's partial current-interval
+// writes (harmless for race-free programs: nobody may conflict with
+// unreleased data), but it must not claim to cover the open interval, or
+// readers would mark it applied and miss the writes made after
+// extraction. order is the causal sort key: the vector-clock sum at the
+// covering interval's release (strictly increasing along happens-before),
+// estimated as if released now for mid-interval extractions.
+func (hl *homeless) extractPending(gp int32, p *sim.Proc) {
+	pc := &hl.pages[gp]
+	if !pc.hasTwin {
+		return
+	}
+	keep := pc.twinWrite == hl.curInterval
+	payload, bytes := hl.h.ExtractDiff(gp, keep)
+	pc.hasTwin = keep
+	hl.ctr.DiffsMade++
+
+	upto := pc.lastSelf
+	var order int64
+	if upto < hl.curInterval {
+		order = hl.orders[upto-1]
+	} else {
+		upto = hl.curInterval - 1
+		order = hl.orderEstimate()
+	}
+	mp := &hl.meta[gp]
+	mp.recSeq++
+	rec := &diffRec{
+		page: gp, seq: mp.recSeq, upto: upto, order: order,
+		payload: payload, bytes: bytes,
+	}
+	hl.recs[gp] = append(hl.recs[gp], rec)
+	gc := len(hl.recs[gp]) > GCThreshold && hl.soleWriter(pc)
+	if gc {
+		hl.gcPage(gp)
+	}
+	p.Advance(hl.h.Costs().DiffCreateCost(diffChangedBytes(bytes)))
+	if gc {
+		p.Advance(hl.h.Costs().DiffCreateCost(model.PageSize))
+	}
+}
+
+// soleWriter reports whether no other node has ever write-noticed pc.
+func (hl *homeless) soleWriter(pc *pageCommon) bool {
+	for q := range pc.notice {
+		if q != hl.id && pc.notice[q] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// gcPage squashes a sole-writer page's diff records into one dominating
+// record carrying the latest sequence number. Pure mutation: the caller
+// charges the CPU cost afterwards.
+func (hl *homeless) gcPage(gp int32) {
+	recs := hl.recs[gp]
+	payloads := make([]any, len(recs))
+	var maxUpto int32
+	var maxOrder int64
+	for i, r := range recs {
+		payloads[i] = r.payload
+		if r.upto > maxUpto {
+			maxUpto = r.upto
+		}
+		if r.order > maxOrder {
+			maxOrder = r.order
+		}
+	}
+	payload, bytes := hl.h.MergeDiffs(gp, payloads)
+	mp := &hl.meta[gp]
+	mp.recSeq++
+	hl.recs[gp] = []*diffRec{{
+		page: gp, seq: mp.recSeq, upto: maxUpto, order: maxOrder,
+		payload: payload, bytes: bytes,
+	}}
+}
+
+// recsSinceSeq returns the records for page gp with seq > fromSeq, in
+// chain order.
+func (hl *homeless) recsSinceSeq(gp, fromSeq int32) []*diffRec {
+	var out []*diffRec
+	for _, r := range hl.recs[gp] {
+		if r.seq > fromSeq {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Fault repairs an invalid page on the application process: extract any
+// pending local diff first (the multiple-writer protocol preserves this
+// node's concurrent writes and keeps the twin honest), then fetch the
+// missing diffs from every writer with pending notices — one request per
+// writer, one page per request, as in base TreadMarks.
+func (hl *homeless) Fault(gp int32) {
+	p := hl.h.AppProc()
+	c := hl.h.Costs()
+	p.Advance(c.ReadFault)
+	hl.ctr.Faults++
+	hl.extractPending(gp, p)
+
+	pc := &hl.pages[gp]
+	mp := &hl.meta[gp]
+	var writers []int
+	for q := 0; q < hl.nprocs; q++ {
+		if q == hl.id || pc.notice[q] <= pc.applied[q] {
+			continue
+		}
+		writers = append(writers, q)
+		req := diffRequest{pages: []pageAsk{{page: gp, fromSeq: mp.appliedSeq[q]}}}
+		p.Send(hl.h.ServerOf(q), tagDiffReq, req, diffReqHdr+diffReqPerPage, stats.KindDiffReq)
+	}
+	hl.collectAndApply(writers, []int32{gp})
+}
+
+// FetchAggregated repairs all invalid pages of gps with a single request
+// per remote writer — the data-aggregation hand optimization of §5 (the
+// enhanced interface of Dwarkadas et al. [7]). No communication happens
+// if nothing is pending.
+func (hl *homeless) FetchAggregated(gps []int32) {
+	p := hl.h.AppProc()
+	c := hl.h.Costs()
+	perWriter := make(map[int][]pageAsk)
+	var pages []int32
+	for _, gp := range gps {
+		pc := &hl.pages[gp]
+		if !pc.invalid() {
+			continue
+		}
+		hl.extractPending(gp, p)
+		pages = append(pages, gp)
+		for q := 0; q < hl.nprocs; q++ {
+			if q == hl.id || pc.notice[q] <= pc.applied[q] {
+				continue
+			}
+			perWriter[q] = append(perWriter[q], pageAsk{page: gp, fromSeq: hl.meta[gp].appliedSeq[q]})
+		}
+	}
+	if len(perWriter) == 0 {
+		return
+	}
+	p.Advance(c.ReadFault) // one access miss covers the whole range
+	hl.ctr.Faults++
+	writers := make([]int, 0, len(perWriter))
+	for q := range perWriter {
+		writers = append(writers, q)
+	}
+	sort.Ints(writers)
+	for _, q := range writers {
+		req := diffRequest{pages: perWriter[q]}
+		bytes := diffReqHdr + len(req.pages)*diffReqPerPage
+		p.Send(hl.h.ServerOf(q), tagDiffReq, req, bytes, stats.KindDiffReq)
+	}
+	hl.collectAndApply(writers, pages)
+}
+
+// collectAndApply receives one diffResponse per writer and applies all
+// received records in causal order: ascending release-order label, which
+// is strictly increasing along happens-before, with writer id breaking
+// ties among concurrent records (whose byte ranges are disjoint in
+// race-free programs). Finally the repaired pages' notice tables are
+// settled: everything noticed from the queried writers is now applied.
+func (hl *homeless) collectAndApply(writers []int, pages []int32) {
+	p := hl.h.AppProc()
+	c := hl.h.Costs()
+	type recFrom struct {
+		writer int
+		rec    *diffRec
+	}
+	var all []recFrom
+	for _, q := range writers {
+		m := p.Recv(hl.h.ServerOf(q), tagDiffResp)
+		for _, r := range m.Payload.(diffResponse).recs {
+			all = append(all, recFrom{writer: q, rec: r})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].rec.order != all[j].rec.order {
+			return all[i].rec.order < all[j].rec.order
+		}
+		return all[i].writer < all[j].writer
+	})
+	for _, rf := range all {
+		pc := &hl.pages[rf.rec.page]
+		mp := &hl.meta[rf.rec.page]
+		hl.h.ApplyDiff(rf.rec.page, rf.rec.payload)
+		hl.ctr.DiffsApplied++
+		if rf.rec.upto > pc.applied[rf.writer] {
+			pc.applied[rf.writer] = rf.rec.upto
+		}
+		if rf.rec.seq > mp.appliedSeq[rf.writer] {
+			mp.appliedSeq[rf.writer] = rf.rec.seq
+		}
+		p.Advance(c.DiffApplyCost(diffChangedBytes(rf.rec.bytes)))
+	}
+	// The writers have, by construction, answered with their complete
+	// chains: every pending notice from them on the asked pages is
+	// satisfied even when the matching diff was empty.
+	for _, gp := range pages {
+		pc := &hl.pages[gp]
+		for _, q := range writers {
+			if pc.notice[q] > pc.applied[q] {
+				pc.applied[q] = pc.notice[q]
+			}
+		}
+	}
+}
+
+// pushMsg carries pushed diffs.
+type pushMsg struct {
+	proc int
+	recs []*diffRec
+}
+
+// FirePushes implements the §8 producer-push optimization: send all
+// registered pushes, then consume all expected ones.
+func (hl *homeless) FirePushes(p *sim.Proc, seq int, kind stats.Kind, pushes []*PushDirective, expects []int) {
+	c := hl.h.Costs()
+	for _, d := range pushes {
+		var recs []*diffRec
+		bytes := pushHdr
+		for gp := d.First; gp <= d.Last; gp++ {
+			hl.extractPending(gp, p)
+			for _, r := range hl.recsSinceSeq(gp, d.SentSeq[gp-d.First]) {
+				recs = append(recs, r)
+				bytes += r.bytes
+				if r.seq > d.SentSeq[gp-d.First] {
+					d.SentSeq[gp-d.First] = r.seq
+				}
+			}
+		}
+		k := stats.KindDiff
+		if kind == stats.KindShutdown {
+			k = stats.KindShutdown
+		}
+		p.Send(d.Dest, tagPush+seq, pushMsg{proc: hl.id, recs: recs}, bytes, k)
+	}
+	for _, src := range expects {
+		m := p.Recv(src, tagPush+seq)
+		pm := m.Payload.(pushMsg)
+		for _, r := range pm.recs {
+			pc := &hl.pages[r.page]
+			mp := &hl.meta[r.page]
+			hl.h.ApplyDiff(r.page, r.payload)
+			hl.ctr.DiffsApplied++
+			if r.upto > pc.applied[pm.proc] {
+				pc.applied[pm.proc] = r.upto
+			}
+			if r.seq > mp.appliedSeq[pm.proc] {
+				mp.appliedSeq[pm.proc] = r.seq
+			}
+			p.Advance(c.DiffApplyCost(diffChangedBytes(r.bytes)))
+		}
+	}
+}
+
+// HandleServer services a diff request on the server process.
+func (hl *homeless) HandleServer(p *sim.Proc, m *sim.Message) bool {
+	if m.Tag != tagDiffReq {
+		return false
+	}
+	p.Advance(hl.h.Costs().HandlerWake)
+	req := m.Payload.(diffRequest)
+	var resp diffResponse
+	bytes := 8
+	for _, ask := range req.pages {
+		hl.extractPending(ask.page, p)
+		for _, r := range hl.recsSinceSeq(ask.page, ask.fromSeq) {
+			resp.recs = append(resp.recs, r)
+			bytes += r.bytes
+		}
+	}
+	p.Send(m.Src, tagDiffResp, resp, bytes, stats.KindDiff)
+	return true
+}
+
+// diffChangedBytes estimates the changed-data volume in a payload for
+// CPU cost charging.
+func diffChangedBytes(bytes int) int {
+	if bytes < DiffRecHdr {
+		return 0
+	}
+	return bytes - DiffRecHdr
+}

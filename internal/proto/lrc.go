@@ -1,0 +1,257 @@
+package proto
+
+import (
+	"repro/internal/sim"
+)
+
+// This file is the lazy-release-consistency core shared by both
+// protocols: vector timestamps, intervals, write notices and their
+// run-length-encoded wire format. It was extracted from internal/tmk's
+// system.go when the protocol layer became pluggable. The two protocols
+// differ only in how modified *data* travels; the invalidation
+// information modeled here is common.
+
+// IntervalRec is a released interval: the pages its owner wrote.
+type IntervalRec struct {
+	Interval int32
+	Pages    []int32
+}
+
+// NoticeBatch is consistency information in flight: per-process interval
+// records the receiver has not seen.
+type NoticeBatch struct {
+	Proc      int
+	Intervals []IntervalRec
+}
+
+// BatchBytes models the wire size of a batch of notices. Write notices
+// for consecutive pages are run-length encoded — an interval that
+// dirtied a contiguous block of pages (every regular application) costs
+// one range record, while scattered writes (MGS's cyclic vectors) cost
+// one record per run. This matches the linear-in-runs notice volumes of
+// Tables 2 and 3.
+func BatchBytes(bs []NoticeBatch) int {
+	n := 0
+	for _, b := range bs {
+		for _, iv := range b.Intervals {
+			n += 16 // interval header
+			n += PageRuns(iv.Pages) * 8
+		}
+	}
+	return n
+}
+
+// PageRuns counts maximal runs of consecutive page ids (the pages slice
+// is in write-touch order, which is ascending for sweeps).
+func PageRuns(pages []int32) int {
+	runs := 0
+	for i, pg := range pages {
+		if i == 0 || pg != pages[i-1]+1 {
+			runs++
+		}
+	}
+	return runs
+}
+
+// pageCommon is the protocol metadata both protocols keep for one page.
+type pageCommon struct {
+	hasTwin   bool
+	twinWrite int32   // interval of the most recent write fault
+	notice    []int32 // notice[q]: highest pending interval of writer q
+	applied   []int32 // applied[q]: highest interval of q applied here
+	lastSelf  int32   // last interval in which this node noticed the page
+}
+
+// invalid reports whether the page has unapplied remote write notices.
+func (pc *pageCommon) invalid() bool {
+	for q := range pc.notice {
+		if pc.notice[q] > pc.applied[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// lrcCore is the consistency state shared by both protocol
+// implementations.
+type lrcCore struct {
+	h      Host
+	id     int
+	nprocs int
+
+	vc          []int32         // vc[q] = latest interval of q incorporated
+	curInterval int32           // my open (unreleased) interval
+	dirty       []int32         // pages write-noticed in the open interval
+	log         [][]IntervalRec // released intervals per process
+	orders      []int64         // orders[k-1]: causal sort key of own interval k
+	pages       []pageCommon
+	ctr         Counters
+}
+
+func (lc *lrcCore) init(h Host) {
+	lc.h = h
+	lc.id = h.NodeID()
+	lc.nprocs = h.NProcs()
+	lc.vc = make([]int32, lc.nprocs)
+	lc.curInterval = 1
+	lc.log = make([][]IntervalRec, lc.nprocs)
+}
+
+func (lc *lrcCore) addPages(npages int) {
+	for i := 0; i < npages; i++ {
+		lc.pages = append(lc.pages, pageCommon{
+			notice:  make([]int32, lc.nprocs),
+			applied: make([]int32, lc.nprocs),
+		})
+	}
+}
+
+// writeTouch performs the write-access bookkeeping for page gp: twin the
+// page on the first write of an interval (the mprotect write-trap
+// equivalent, when the protocol needs a twin) and register it for a
+// write notice at the next release.
+// Concurrency note (applies to every protocol mutation in this package):
+// Advance is a scheduler yield point, so the node's server process may run
+// in the middle of any sequence that calls it. All protocol state must
+// therefore be mutated *first* and the virtual CPU time charged *after*,
+// keeping every critical section atomic between scheduling points.
+// needTwin is false for pages whose live copy already is the master copy
+// (a home node's own pages): write detection still happens, twinning
+// does not.
+func (lc *lrcCore) writeTouch(gp int32, needTwin bool) {
+	pc := &lc.pages[gp]
+	c := lc.h.Costs()
+	var cost sim.Time
+	if needTwin && !pc.hasTwin {
+		lc.h.MakeTwin(gp)
+		lc.ctr.Twins++
+		pc.hasTwin = true
+		pc.twinWrite = lc.curInterval
+		cost = c.WriteFault + c.TwinPage
+	} else if pc.twinWrite < lc.curInterval {
+		// New interval: the page was write-protected again at the last
+		// release, so pay the re-protection fault.
+		pc.twinWrite = lc.curInterval
+		cost = c.WriteFault
+	}
+	if pc.lastSelf != lc.curInterval {
+		pc.lastSelf = lc.curInterval
+		lc.dirty = append(lc.dirty, gp)
+	}
+	if cost > 0 {
+		lc.h.AppProc().Advance(cost)
+	}
+}
+
+// closeInterval closes the open interval: every dirtied page gets a
+// write notice, the interval is logged, the interval's causal order key
+// is recorded, and the vector clock advances. Called at lock release and
+// barrier arrival (an RC release operation). The caller (the protocol's
+// Release) performs any data movement first.
+func (lc *lrcCore) closeInterval() {
+	if len(lc.dirty) > 0 {
+		pages := make([]int32, len(lc.dirty))
+		copy(pages, lc.dirty)
+		lc.log[lc.id] = append(lc.log[lc.id], IntervalRec{Interval: lc.curInterval, Pages: pages})
+		lc.dirty = lc.dirty[:0]
+	}
+	lc.vc[lc.id] = lc.curInterval
+	var sum int64
+	for _, v := range lc.vc {
+		sum += int64(v)
+	}
+	lc.orders = append(lc.orders, sum)
+	lc.curInterval++
+}
+
+// orderEstimate is the causal sort key an interval would get if released
+// right now: the current vector-clock sum with this node's entry replaced
+// by the open interval number.
+func (lc *lrcCore) orderEstimate() int64 {
+	var s int64
+	for q, v := range lc.vc {
+		if q == lc.id {
+			s += int64(lc.curInterval)
+		} else {
+			s += int64(v)
+		}
+	}
+	return s
+}
+
+// noticesSince collects the interval records of process q with interval
+// numbers in (from, to].
+func (lc *lrcCore) noticesSince(q int, from, to int32) []IntervalRec {
+	var out []IntervalRec
+	for _, ir := range lc.log[q] {
+		if ir.Interval > from && ir.Interval <= to {
+			out = append(out, ir)
+		}
+	}
+	return out
+}
+
+// BatchSince builds the notice batches for a receiver whose vector clock
+// is rvc, based on everything this node knows.
+func (lc *lrcCore) BatchSince(rvc []int32) []NoticeBatch {
+	var out []NoticeBatch
+	for q := 0; q < lc.nprocs; q++ {
+		if lc.vc[q] > rvc[q] {
+			ivs := lc.noticesSince(q, rvc[q], lc.vc[q])
+			out = append(out, NoticeBatch{Proc: q, Intervals: ivs})
+		}
+	}
+	return out
+}
+
+// OwnBatch collects this node's own released intervals later than since.
+func (lc *lrcCore) OwnBatch(since int32) []NoticeBatch {
+	ivs := lc.noticesSince(lc.id, since, lc.vc[lc.id])
+	if len(ivs) == 0 {
+		return nil
+	}
+	return []NoticeBatch{{Proc: lc.id, Intervals: ivs}}
+}
+
+// ApplyBatches incorporates received notices: log them, register page
+// invalidations, and advance the vector clock. Batches always carry the
+// contiguous interval range (receiver.vc, sender.vc] per process (see the
+// invariant comment in tmk's barrier.go), so advancing vc to the batch
+// maximum never skips intervals.
+func (lc *lrcCore) ApplyBatches(bs []NoticeBatch) {
+	for _, b := range bs {
+		if b.Proc == lc.id {
+			continue // never accept notices about our own intervals
+		}
+		for _, iv := range b.Intervals {
+			if iv.Interval <= lc.vc[b.Proc] {
+				continue // already known
+			}
+			lc.log[b.Proc] = append(lc.log[b.Proc], iv)
+			for _, pg := range iv.Pages {
+				pc := &lc.pages[pg]
+				if iv.Interval > pc.notice[b.Proc] {
+					pc.notice[b.Proc] = iv.Interval
+				}
+			}
+			lc.vc[b.Proc] = iv.Interval
+		}
+	}
+}
+
+// VC returns the node's live vector clock. Callers must not mutate it.
+func (lc *lrcCore) VC() []int32 { return lc.vc }
+
+// MarkApplied records externally installed data (broadcast optimization).
+func (lc *lrcCore) MarkApplied(gp int32, writer int, upto int32) {
+	pc := &lc.pages[gp]
+	if upto > pc.applied[writer] {
+		pc.applied[writer] = upto
+	}
+}
+
+// Invalid reports whether gp has unapplied remote write notices.
+func (lc *lrcCore) Invalid(gp int32) bool { return lc.pages[gp].invalid() }
+
+// Counters returns the node's protocol event counts.
+func (lc *lrcCore) Counters() *Counters { return &lc.ctr }

@@ -1,0 +1,33 @@
+package proto
+
+// Protocol message tags. The synchronization layer (internal/tmk) owns
+// tags 1<<16 through 11<<16; the protocol subsystem reserves the 16<<16
+// through 31<<16 range. Push tags are offset by the barrier's rolling
+// sequence number, like barrier tags.
+const (
+	tagDiffReq  = 16 << 16 // homeless: diff request (to server)
+	tagDiffResp = 17 << 16 // homeless: diff reply (to application)
+	tagPush     = 18 << 16 // homeless: pushed diffs (+ barrier seq)
+	tagFlush    = 19 << 16 // home: eager diff flush (to home's server)
+	tagFlushAck = 20 << 16 // home: flush acknowledgment (to application)
+	tagPageReq  = 21 << 16 // home: whole-page fetch request (to server)
+	tagPageResp = 22 << 16 // home: whole-page reply (to application)
+)
+
+// Wire-format size constants (bytes) for control payloads.
+const (
+	// DiffRecHdr and DiffSegHdr are the per-record and per-segment diff
+	// encoding overheads; the region layer's diff encoder charges them.
+	DiffRecHdr = 8
+	DiffSegHdr = 4
+
+	diffReqHdr     = 12
+	diffReqPerPage = 16
+	pushHdr        = 16
+	flushHdr       = 16
+	flushAckBytes  = 8
+	pageReqHdr     = 12
+	pageReqPerPage = 8 // + one vector timestamp per page
+	pageRespHdr    = 8
+	pageRespPerVC  = 4 // per process entry of a piggybacked applied vector
+)

@@ -303,39 +303,60 @@ func (rt *Runtime) waitOld() ctrlMsg {
 // Reduction implements §2.1 scalar reductions: the reduction variable is
 // allocated in shared memory and a lock serializes the cross-processor
 // combine; each processor first accumulates into a private copy.
+//
+// Each processor combines into its own slot of the shared variable and
+// the reader folds the slots in processor order, so the reduced value is
+// independent of the order in which processors win the lock — lock-grant
+// order varies with protocol timing, and floating-point combining must
+// not (the cross-protocol equivalence tests rely on this).
 type Reduction struct {
 	shared *tmk.Region[float64]
+	nprocs int
 	lock   int
+	op     func(a, b float64) float64
 }
 
 // NewReduction allocates a shared reduction variable (page-padded) and
-// its lock. Must be called in the same order on every processor.
-func NewReduction(rt *Runtime, name string) *Reduction {
+// its lock, and fixes the combining op. Must be called in the same
+// order, with the same op, on every processor.
+func NewReduction(rt *Runtime, name string, op func(a, b float64) float64) *Reduction {
+	n := rt.tm.NProcs()
 	r := &Reduction{
-		shared: tmk.Alloc[float64](rt.tm, "spf.red."+name, 8),
+		shared: tmk.Alloc[float64](rt.tm, "spf.red."+name, max(n, 8)),
+		nprocs: n,
+		op:     op,
 	}
 	r.lock = 64 + rt.reductions
 	rt.reductions++
 	return r
 }
 
-// Combine folds a processor's private partial value into the shared
-// reduction variable under the lock.
-func (r *Reduction) Combine(rt *Runtime, partial float64, op func(a, b float64) float64) {
+// Combine folds a processor's private partial value into its slot of the
+// shared reduction variable under the lock.
+func (r *Reduction) Combine(rt *Runtime, partial float64) {
+	me := rt.tm.ID()
 	rt.tm.AcquireLock(r.lock)
-	w := r.shared.Write(0, 1)
-	w[0] = op(w[0], partial)
+	w := r.shared.Write(me, me+1)
+	w[me] = r.op(w[me], partial)
 	rt.tm.ReleaseLock(r.lock)
 }
 
-// Value reads the reduced value (typically on the master after the join).
+// Value folds the per-processor slots in processor order (typically on
+// the master after the join).
 func (r *Reduction) Value() float64 {
-	g := r.shared.Read(0, 1)
-	return g[0]
+	g := r.shared.Read(0, r.nprocs)
+	v := g[0]
+	for q := 1; q < r.nprocs; q++ {
+		v = r.op(v, g[q])
+	}
+	return v
 }
 
-// Reset clears the shared reduction variable (master, before the loop).
+// Reset sets every slot to the reduction identity (master, before the
+// loop).
 func (r *Reduction) Reset(v float64) {
-	w := r.shared.Write(0, 1)
-	w[0] = v
+	w := r.shared.Write(0, r.nprocs)
+	for q := 0; q < r.nprocs; q++ {
+		w[q] = v
+	}
 }

@@ -171,13 +171,13 @@ func TestSliceBounds(t *testing.T) {
 func TestReduction(t *testing.T) {
 	sys := newSys(8)
 	if err := Run(sys, Options{}, func(rt *Runtime) {
-		red := NewReduction(rt, "sum")
+		red := NewReduction(rt, "sum", func(a, b float64) float64 { return a + b })
 		loop := rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
 			var partial float64
 			for i := lo; i < hi; i += stride {
 				partial += float64(i)
 			}
-			red.Combine(rt, partial, func(a, b float64) float64 { return a + b })
+			red.Combine(rt, partial)
 		})
 		if rt.IsMaster() {
 			red.Reset(0)

@@ -1,6 +1,7 @@
 package tmk
 
 import (
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -13,7 +14,7 @@ import (
 // the notices each process lacks: 2(n-1) messages per barrier.
 //
 // Consistency invariant: a node's vector clock entry vc[q] advances only
-// together with the interval records that justify it (applyBatches or the
+// together with the interval records that justify it (ApplyBatches or the
 // node's own release). Batches always cover the contiguous range
 // (receiver.vc[q], sender.vc[q]], so logs never develop gaps and any node
 // can serve consistency information for any older vector clock.
@@ -21,24 +22,15 @@ import (
 // arrivalMsg is a process's barrier-arrival payload.
 type arrivalMsg struct {
 	vc      []int32 // the arriver's vector clock (tells the manager what it lacks)
-	batches []noticeBatch
+	batches []proto.NoticeBatch
 	reduce  []float64 // optional barrier-merged reduction contribution (§8)
 }
 
 // departMsg is the manager's barrier-departure payload.
 type departMsg struct {
-	batches []noticeBatch
+	batches []proto.NoticeBatch
 	payload any // loop-control data under the improved interface (§2.3)
 	reduce  []float64
-}
-
-// ownBatch collects this node's own released intervals later than since.
-func (nd *node) ownBatch(since int32) []noticeBatch {
-	ivs := nd.noticesSince(nd.id, since, nd.vc[nd.id])
-	if len(ivs) == 0 {
-		return nil
-	}
-	return []noticeBatch{{proc: nd.id, intervals: ivs}}
 }
 
 // Barrier performs a full TreadMarks barrier: an RC release followed by
@@ -67,8 +59,8 @@ func (tm *Tmk) barrierReduce(reduce, reduceOut []float64, kind stats.Kind) {
 	c := nd.sys.costs
 
 	reported := nd.lastReported
-	nd.releaseInterval()
-	nd.lastReported = nd.vc[nd.id]
+	nd.prot.Release(kind)
+	nd.lastReported = nd.prot.VC()[nd.id]
 	seq := nd.barrierSeq % barrierSeqSpace
 	nd.barrierSeq++
 	if n == 1 {
@@ -79,25 +71,33 @@ func (tm *Tmk) barrierReduce(reduce, reduceOut []float64, kind stats.Kind) {
 	}
 
 	if nd.id == 0 {
-		acc := append([]float64(nil), reduce...)
+		// Contributions are folded in node order, not arrival order:
+		// arrival order varies with protocol timing and floating-point
+		// summation must not (cross-protocol equivalence).
+		contribs := make([][]float64, n)
+		contribs[0] = reduce
 		for i := 1; i < n; i++ {
 			m := p.Recv(sim.AnySrc, tagBarrierArrive+seq)
 			arr := m.Payload.(arrivalMsg)
-			nd.applyBatches(arr.batches)
+			nd.prot.ApplyBatches(arr.batches)
 			nd.setWorkerVC(m.Src, arr.vc)
-			if len(arr.reduce) > len(acc) {
-				grown := make([]float64, len(arr.reduce))
+			contribs[m.Src] = arr.reduce
+			p.Advance(c.BarrierWork)
+		}
+		var acc []float64
+		for _, cv := range contribs {
+			if len(cv) > len(acc) {
+				grown := make([]float64, len(cv))
 				copy(grown, acc)
 				acc = grown
 			}
-			for k, v := range arr.reduce {
+			for k, v := range cv {
 				acc[k] += v
 			}
-			p.Advance(c.BarrierWork)
 		}
 		for w := 1; w < n; w++ {
-			batches := nd.batchSince(nd.workerVCAt(w))
-			bytes := 16 + batchBytes(batches) + len(acc)*8
+			batches := nd.prot.BatchSince(nd.workerVCAt(w))
+			bytes := 16 + proto.BatchBytes(batches) + len(acc)*8
 			dep := departMsg{batches: batches, reduce: acc}
 			p.Send(w, tagBarrierDepart+seq, dep, bytes, kind)
 		}
@@ -105,13 +105,13 @@ func (tm *Tmk) barrierReduce(reduce, reduceOut []float64, kind stats.Kind) {
 			copy(reduceOut, acc)
 		}
 	} else {
-		batches := nd.ownBatch(reported)
-		bytes := n*vcBytes + batchBytes(batches) + len(reduce)*8
-		arr := arrivalMsg{vc: vcCopy(nd.vc), batches: batches, reduce: reduce}
+		batches := nd.prot.OwnBatch(reported)
+		bytes := n*vcBytes + proto.BatchBytes(batches) + len(reduce)*8
+		arr := arrivalMsg{vc: vcCopy(nd.prot.VC()), batches: batches, reduce: reduce}
 		p.Send(0, tagBarrierArrive+seq, arr, bytes, kind)
 		m := p.Recv(0, tagBarrierDepart+seq)
 		dep := m.Payload.(departMsg)
-		nd.applyBatches(dep.batches)
+		nd.prot.ApplyBatches(dep.batches)
 		p.Advance(c.BarrierWork)
 		if reduceOut != nil {
 			copy(reduceOut, dep.reduce)
@@ -141,13 +141,13 @@ func (tm *Tmk) Fork(ctrl any, ctrlBytes int) {
 	if nd.id != 0 {
 		panic("tmk: Fork must be called on the master")
 	}
-	nd.releaseInterval()
-	nd.lastReported = nd.vc[nd.id]
+	nd.prot.Release(stats.KindBarrier)
+	nd.lastReported = nd.prot.VC()[nd.id]
 	seq := nd.barrierSeq % barrierSeqSpace
 	nd.barrierSeq++
 	for w := 1; w < n; w++ {
-		batches := nd.batchSince(nd.workerVCAt(w))
-		bytes := 16 + batchBytes(batches) + ctrlBytes
+		batches := nd.prot.BatchSince(nd.workerVCAt(w))
+		bytes := 16 + proto.BatchBytes(batches) + ctrlBytes
 		dep := departMsg{batches: batches, payload: ctrl}
 		p.Send(w, tagBarrierDepart+seq, dep, bytes, stats.KindBarrier)
 	}
@@ -168,7 +168,7 @@ func (tm *Tmk) WaitFork() any {
 	nd.barrierSeq++
 	m := p.Recv(0, tagBarrierDepart+seq)
 	dep := m.Payload.(departMsg)
-	nd.applyBatches(dep.batches)
+	nd.prot.ApplyBatches(dep.batches)
 	p.Advance(nd.sys.costs.BarrierWork)
 	return dep.payload
 }
@@ -184,13 +184,13 @@ func (tm *Tmk) Join() {
 		panic("tmk: Join must be called on a worker")
 	}
 	reported := nd.lastReported
-	nd.releaseInterval()
-	nd.lastReported = nd.vc[nd.id]
+	nd.prot.Release(stats.KindBarrier)
+	nd.lastReported = nd.prot.VC()[nd.id]
 	seq := nd.barrierSeq % barrierSeqSpace
 	nd.barrierSeq++
-	batches := nd.ownBatch(reported)
-	bytes := nd.sys.nprocs*vcBytes + batchBytes(batches)
-	arr := arrivalMsg{vc: vcCopy(nd.vc), batches: batches}
+	batches := nd.prot.OwnBatch(reported)
+	bytes := nd.sys.nprocs*vcBytes + proto.BatchBytes(batches)
+	arr := arrivalMsg{vc: vcCopy(nd.prot.VC()), batches: batches}
 	p.Send(0, tagBarrierArrive+seq, arr, bytes, stats.KindBarrier)
 }
 
@@ -210,7 +210,7 @@ func (tm *Tmk) Collect() {
 	for i := 1; i < n; i++ {
 		m := p.Recv(sim.AnySrc, tagBarrierArrive+seq)
 		arr := m.Payload.(arrivalMsg)
-		nd.applyBatches(arr.batches)
+		nd.prot.ApplyBatches(arr.batches)
 		nd.setWorkerVC(m.Src, arr.vc)
 		p.Advance(nd.sys.costs.BarrierWork)
 	}

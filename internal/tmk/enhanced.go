@@ -1,6 +1,7 @@
 package tmk
 
 import (
+	"repro/internal/proto"
 	"repro/internal/stats"
 )
 
@@ -10,21 +11,6 @@ import (
 // instead of the default request-response, and barrier-merged reductions
 // (BarrierReduceSum in barrier.go).
 
-// pushDirective asks the runtime to push this node's diffs for a page
-// range to a consumer at every barrier, replacing the consumer's
-// request-response page faults.
-type pushDirective struct {
-	dest        int
-	first, last int32   // inclusive global page range
-	sentSeq     []int32 // per page: highest record seq already pushed
-}
-
-// pushMsg carries pushed diffs.
-type pushMsg struct {
-	proc int
-	recs []*diffRec
-}
-
 // bcastMsg carries a broadcast snapshot of a region range.
 type bcastMsg struct {
 	payload any
@@ -32,26 +18,30 @@ type bcastMsg struct {
 }
 
 // PushOnBarrier registers a persistent push: at every subsequent barrier
-// this node sends its new diffs for region pages covering elements
-// [lo,hi) directly to dest. The consumer must register a matching
-// ExpectPushOnBarrier. This is the "push instead of pull" optimization.
+// this node sends its new modifications for region pages covering
+// elements [lo,hi) directly to dest. The consumer must register a
+// matching ExpectPushOnBarrier. This is the "push instead of pull"
+// optimization. Whether data actually travels is up to the coherence
+// protocol: the homeless protocol ships diff records, while the
+// home-based protocol already pushes diffs to the home at every release
+// and ignores the pairing (consumers fetch from the home on demand).
 func PushOnBarrier[T Elem](tm *Tmk, r *Region[T], lo, hi, dest int) {
 	if dest == tm.nd.id {
 		panic("tmk: push to self")
 	}
 	first := int32(r.PageOf(lo))
 	last := int32(r.PageOf(hi - 1))
-	tm.nd.pushes = append(tm.nd.pushes, pushDirective{
-		dest:    dest,
-		first:   first,
-		last:    last,
-		sentSeq: make([]int32, last-first+1),
+	tm.nd.pushes = append(tm.nd.pushes, &proto.PushDirective{
+		Dest:    dest,
+		First:   first,
+		Last:    last,
+		SentSeq: make([]int32, last-first+1),
 	})
 }
 
 // ExpectPushOnBarrier registers the consumer side of a push pairing: at
 // every subsequent barrier this node receives and applies one push
-// message from src.
+// message from src (under protocols that implement pushing).
 func (tm *Tmk) ExpectPushOnBarrier(src int) {
 	if src == tm.nd.id {
 		panic("tmk: expect push from self")
@@ -59,50 +49,13 @@ func (tm *Tmk) ExpectPushOnBarrier(src int) {
 	tm.nd.expects = append(tm.nd.expects, src)
 }
 
-// firePushes runs at the end of every barrier: send all registered
-// pushes, then consume all expected ones.
+// firePushes runs at the end of every barrier: the protocol services the
+// registered pushes, then consumes the expected ones.
 func (nd *node) firePushes(seq int, kind stats.Kind) {
 	if len(nd.pushes) == 0 && len(nd.expects) == 0 {
 		return
 	}
-	p := nd.tm.p
-	c := nd.sys.costs
-	for i := range nd.pushes {
-		d := &nd.pushes[i]
-		var recs []*diffRec
-		bytes := pushHdr
-		for gp := d.first; gp <= d.last; gp++ {
-			nd.extractPending(gp, p)
-			for _, r := range nd.recsSinceSeq(gp, d.sentSeq[gp-d.first]) {
-				recs = append(recs, r)
-				bytes += r.bytes
-				if r.seq > d.sentSeq[gp-d.first] {
-					d.sentSeq[gp-d.first] = r.seq
-				}
-			}
-		}
-		k := stats.KindDiff
-		if kind == stats.KindShutdown {
-			k = stats.KindShutdown
-		}
-		p.Send(d.dest, tagPush+seq, pushMsg{proc: nd.id, recs: recs}, bytes, k)
-	}
-	for _, src := range nd.expects {
-		m := p.Recv(src, tagPush+seq)
-		pm := m.Payload.(pushMsg)
-		for _, r := range pm.recs {
-			ps := &nd.pageMeta[r.page]
-			nd.regions[ps.region].apply(ps.local, r.payload)
-			nd.DiffsApplied++
-			if r.upto > ps.applied[pm.proc] {
-				ps.applied[pm.proc] = r.upto
-			}
-			if r.seq > ps.appliedSeq[pm.proc] {
-				ps.appliedSeq[pm.proc] = r.seq
-			}
-			p.Advance(c.DiffApplyCost(diffChangedBytes(r.bytes)))
-		}
-	}
+	nd.prot.FirePushes(nd.tm.p, seq, kind, nd.pushes, nd.expects)
 }
 
 // BroadcastRegion implements the merged synchronization-and-data
@@ -121,12 +74,12 @@ func BroadcastRegion[T Elem](tm *Tmk, r *Region[T], lo, hi, root int) {
 	seq := nd.bcastSeq % barrierSeqSpace
 	nd.bcastSeq++
 	if nd.id == root {
-		nd.releaseInterval()
+		nd.prot.Release(stats.KindPage)
 		payload, bytes := r.snapshot(lo, hi)
-		msg := bcastMsg{payload: payload, upto: nd.vc[nd.id]}
+		msg := bcastMsg{payload: payload, upto: nd.prot.VC()[nd.id]}
 		for q := 0; q < n; q++ {
 			if q != root {
-				p.Send(q, tagBcast+seq, msg, pushHdr+bytes, stats.KindPage)
+				p.Send(q, tagBcast+seq, msg, bcastHdr+bytes, stats.KindPage)
 			}
 		}
 		return
@@ -138,10 +91,7 @@ func BroadcastRegion[T Elem](tm *Tmk, r *Region[T], lo, hi, root int) {
 	firstFull := (lo + r.epp - 1) / r.epp
 	lastFull := hi/r.epp - 1
 	for pg := firstFull; pg <= lastFull; pg++ {
-		ps := &nd.pageMeta[r.basePage+pg]
-		if bm.upto > ps.applied[root] {
-			ps.applied[root] = bm.upto
-		}
+		nd.prot.MarkApplied(int32(r.basePage+pg), root, bm.upto)
 	}
 	p.Advance(c.DiffApplyCost((hi - lo) * r.elemSize))
 }

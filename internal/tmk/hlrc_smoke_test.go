@@ -1,0 +1,38 @@
+package tmk
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/proto"
+)
+
+func TestHLRCSmoke(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		sys := NewSystem(n, model.SP2(), WithProtocol(proto.HomeLRC))
+		err := sys.Run(func(tm *Tmk) {
+			r := Alloc[float32](tm, "a", 4096)
+			chunk := 4096 / tm.NProcs()
+			lo := tm.ID() * chunk
+			for k := 0; k < 4; k++ {
+				w := r.Write(lo, lo+chunk)
+				for i := lo; i < lo+chunk; i++ {
+					w[i] = float32(k*10 + tm.ID())
+				}
+				tm.Barrier()
+				g := r.Read(0, 4096)
+				for q := 0; q < tm.NProcs(); q++ {
+					if g[q*chunk] != float32(k*10+q) {
+						t.Errorf("n=%d k=%d: a[%d]=%v want %v", n, k, q*chunk, g[q*chunk], float32(k*10+q))
+						return
+					}
+				}
+				tm.Barrier()
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		t.Logf("n=%d msgs=%d kb=%d", n, sys.Stats().TotalMsgs(), sys.Stats().TotalKB())
+	}
+}

@@ -3,6 +3,7 @@ package tmk
 import (
 	"fmt"
 
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -32,7 +33,7 @@ type lockReqMsg struct {
 }
 
 type lockGrantMsg struct {
-	batches []noticeBatch
+	batches []proto.NoticeBatch
 }
 
 // managerState lazily initializes manager-side state. The token starts
@@ -82,15 +83,15 @@ func (tm *Tmk) AcquireLock(id int) {
 			return
 		}
 		p.Advance(c.LockWork)
-		req := lockReqMsg{lock: id, requester: nd.id, vc: vcCopy(nd.vc)}
+		req := lockReqMsg{lock: id, requester: nd.id, vc: vcCopy(nd.prot.VC())}
 		p.Send(nd.sys.serverOf(last), tagLockForward+id, req, lockReqBytes+len(req.vc)*vcBytes, stats.KindLock)
 	} else {
-		req := lockReqMsg{lock: id, requester: nd.id, vc: vcCopy(nd.vc)}
+		req := lockReqMsg{lock: id, requester: nd.id, vc: vcCopy(nd.prot.VC())}
 		p.Send(nd.sys.serverOf(mgr), tagLockReq+id, req, lockReqBytes+len(req.vc)*vcBytes, stats.KindLock)
 	}
 	m := p.Recv(sim.AnySrc, tagLockGrant+id)
 	grant := m.Payload.(lockGrantMsg)
-	nd.applyBatches(grant.batches)
+	nd.prot.ApplyBatches(grant.batches)
 	hs := nd.holderState(id)
 	hs.token = true
 	hs.inUse = true
@@ -107,7 +108,7 @@ func (tm *Tmk) ReleaseLock(id int) {
 	if !hs.token || !hs.inUse {
 		panic(fmt.Sprintf("tmk: release of lock %d not held", id))
 	}
-	nd.releaseInterval()
+	nd.prot.Release(stats.KindLock)
 	hs.inUse = false
 	if hs.pending != nil {
 		req := hs.pending
@@ -121,8 +122,8 @@ func (tm *Tmk) ReleaseLock(id int) {
 // requester's application process. Callable from either the application
 // process (at release) or the server process (token already free).
 func (nd *node) sendGrant(p *sim.Proc, req *lockReqMsg) {
-	batches := nd.batchSince(req.vc)
-	bytes := grantHdr + batchBytes(batches)
+	batches := nd.prot.BatchSince(req.vc)
+	bytes := grantHdr + proto.BatchBytes(batches)
 	grant := lockGrantMsg{batches: batches}
 	p.Send(req.requester, tagLockGrant+req.lock, grant, bytes, stats.KindLock)
 }

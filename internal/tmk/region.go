@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/proto"
 )
 
 // Elem is the set of element types shared arrays may hold. All are
@@ -55,13 +56,14 @@ type regionHandle interface {
 	apply(lp int32, payload any)
 	// makeTwin snapshots local page lp.
 	makeTwin(lp int32)
-	// hasTwin reports twin presence (mirror of pageState.hasTwin, used
-	// for invariant checks).
-	hasTwin(lp int32) bool
 	// snapshot returns the raw values of elements [lo,hi) with wire size.
 	snapshot(lo, hi int) (payload any, bytes int)
 	// install overwrites elements [lo,hi) from a snapshot payload.
 	install(lo, hi int, payload any)
+	// snapshotPage returns the full contents of local page lp.
+	snapshotPage(lp int32) (payload any, bytes int)
+	// installPage overwrites local page lp from a snapshot payload.
+	installPage(lp int32, payload any)
 	// mergeRecs combines several diff payloads into one (GC squash).
 	mergeRecs(payloads []any) (payload any, bytes int)
 }
@@ -132,7 +134,7 @@ func (r *Region[T]) WriteAggregated(lo, hi int) []T {
 }
 
 // ReadAggregatedRanges validates a set of element ranges for reading
-// with a single request per remote writer across all of them — the
+// with a single request per remote peer across all of them — the
 // enhanced interface's strided-region aggregation, used by the §5.4
 // transpose optimization. Each range is [lo, hi).
 func (r *Region[T]) ReadAggregatedRanges(ranges [][2]int) []T {
@@ -153,7 +155,7 @@ func (r *Region[T]) ReadAggregatedRanges(ranges [][2]int) []T {
 			}
 		}
 	}
-	r.nd.fetchAggregatedList(gps)
+	r.nd.prot.FetchAggregated(gps)
 	return r.data
 }
 
@@ -172,20 +174,23 @@ func (r *Region[T]) validate(lo, hi int, write, aggregated bool) {
 	last := (hi - 1) / r.epp
 	start := r.nd.tm.p.Now()
 	if aggregated {
-		r.nd.fetchAggregated(r.basePage+first, r.basePage+last)
+		gps := make([]int32, 0, last-first+1)
+		for pg := first; pg <= last; pg++ {
+			gps = append(gps, int32(r.basePage+pg))
+		}
+		r.nd.prot.FetchAggregated(gps)
 	}
 	for pg := first; pg <= last; pg++ {
 		gp := int32(r.basePage + pg)
-		ps := &r.nd.pageMeta[gp]
-		if ps.invalid() {
-			r.nd.fault(gp)
+		if r.nd.prot.Invalid(gp) {
+			r.nd.prot.Fault(gp)
 		}
 	}
 	r.nd.FaultTime += r.nd.tm.p.Now() - start
 	if write {
 		start = r.nd.tm.p.Now()
 		for pg := first; pg <= last; pg++ {
-			r.nd.writeTouch(int32(r.basePage + pg))
+			r.nd.prot.WriteTouch(int32(r.basePage + pg))
 		}
 		r.nd.WriteTime += r.nd.tm.p.Now() - start
 	}
@@ -201,8 +206,6 @@ func (r *Region[T]) makeTwin(lp int32) {
 	}
 	copy(tw, r.data[int(lp)*r.epp:(int(lp)+1)*r.epp])
 }
-
-func (r *Region[T]) hasTwin(lp int32) bool { return r.twins[lp] != nil }
 
 func (r *Region[T]) extract(lp int32, keepTwin bool) (any, int) {
 	tw := r.twins[lp]
@@ -231,9 +234,9 @@ func (r *Region[T]) extract(lp int32, keepTwin bool) (any, int) {
 	} else {
 		r.twins[lp] = nil
 	}
-	bytes := diffRecHdr
+	bytes := proto.DiffRecHdr
 	for _, s := range segs {
-		bytes += diffSegHdr + len(s.vals)*r.elemSize
+		bytes += proto.DiffSegHdr + len(s.vals)*r.elemSize
 	}
 	return segs, bytes
 }
@@ -254,6 +257,14 @@ func (r *Region[T]) snapshot(lo, hi int) (any, int) {
 
 func (r *Region[T]) install(lo, hi int, payload any) {
 	copy(r.data[lo:hi], payload.([]T))
+}
+
+func (r *Region[T]) snapshotPage(lp int32) (any, int) {
+	return r.snapshot(int(lp)*r.epp, (int(lp)+1)*r.epp)
+}
+
+func (r *Region[T]) installPage(lp int32, payload any) {
+	r.install(int(lp)*r.epp, (int(lp)+1)*r.epp, payload)
 }
 
 func (r *Region[T]) mergeRecs(payloads []any) (any, int) {
@@ -285,20 +296,11 @@ func (r *Region[T]) mergeRecs(payloads []any) (any, int) {
 		segs = append(segs, seg[T]{off: int32(i), vals: vals})
 		i = j
 	}
-	bytes := diffRecHdr
+	bytes := proto.DiffRecHdr
 	for _, s := range segs {
-		bytes += diffSegHdr + len(s.vals)*r.elemSize
+		bytes += proto.DiffSegHdr + len(s.vals)*r.elemSize
 	}
 	return segs, bytes
-}
-
-// diffChangedBytes estimates the changed-data volume in a payload for
-// CPU cost charging.
-func diffChangedBytes(bytes int) int {
-	if bytes < diffRecHdr {
-		return 0
-	}
-	return bytes - diffRecHdr
 }
 
 var _ regionHandle = (*Region[float32])(nil)

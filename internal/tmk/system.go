@@ -4,11 +4,11 @@
 //   - a paged global shared address space with access detection at 4 KB
 //     granularity (software page table with compiler-style hoisted range
 //     checks standing in for mprotect/SIGSEGV — see DESIGN.md);
-//   - lazy invalidate release consistency with vector timestamps,
-//     intervals and write notices;
-//   - a multiple-writer protocol based on twins and run-length-encoded
-//     diffs, with lazy diff creation and diff accumulation (one diff can
-//     satisfy a whole run of write notices from the same process);
+//   - a pluggable coherence protocol (internal/proto): lazy invalidate
+//     release consistency with vector timestamps, intervals and write
+//     notices, as either the paper's homeless multiple-writer protocol
+//     based on twins and run-length-encoded diffs (default) or a
+//     home-based LRC with eager diff flushes and whole-page fetches;
 //   - locks with statically assigned managers and last-requester
 //     forwarding, where a release sends no messages;
 //   - barriers with a centralized manager, costing 2(n-1) messages;
@@ -21,36 +21,54 @@
 // Each node contributes two simulated processes: an application process
 // (ids 0..n-1) that runs user code, and a request-server process
 // (ids n..2n-1) standing in for TreadMarks' SIGIO handler, which services
-// diff and lock traffic while the application computes.
+// diff, page and lock traffic while the application computes.
 package tmk
 
 import (
-	"fmt"
-
 	"repro/internal/model"
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
 // System is a TreadMarks machine: n nodes on a simulated interconnect.
 type System struct {
-	nprocs  int
-	costs   model.Costs
-	cluster *sim.Cluster
+	nprocs   int
+	costs    model.Costs
+	cluster  *sim.Cluster
+	protocol proto.Name
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithProtocol selects the coherence protocol (default: the homeless
+// TreadMarks LRC).
+func WithProtocol(name proto.Name) Option {
+	return func(s *System) {
+		if name != "" {
+			s.protocol = name
+		}
+	}
 }
 
 // NewSystem creates a TreadMarks system with nprocs nodes using the given
 // cost model. The underlying simulator gets 2*nprocs processes.
-func NewSystem(nprocs int, costs model.Costs) *System {
+func NewSystem(nprocs int, costs model.Costs, opts ...Option) *System {
 	if nprocs < 1 {
 		panic("tmk: need at least one process")
 	}
 	cfg := costs.SimConfig(2 * nprocs)
-	return &System{
-		nprocs:  nprocs,
-		costs:   costs,
-		cluster: sim.New(cfg),
+	s := &System{
+		nprocs:   nprocs,
+		costs:    costs,
+		cluster:  sim.New(cfg),
+		protocol: proto.HomelessLRC,
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Stats returns the interconnect statistics collector.
@@ -61,6 +79,9 @@ func (s *System) NProcs() int { return s.nprocs }
 
 // Costs returns the cost model.
 func (s *System) Costs() model.Costs { return s.costs }
+
+// Protocol returns the coherence protocol the system runs.
+func (s *System) Protocol() proto.Name { return s.protocol }
 
 // Run executes body on every node's application process and returns when
 // all have finished. Region allocation must be performed inside body,
@@ -87,31 +108,37 @@ func (s *System) Run(body func(tm *Tmk)) error {
 // serverOf maps a node id to its request-server process id.
 func (s *System) serverOf(nodeID int) int { return s.nprocs + nodeID }
 
-// node holds the per-node DSM state. It is shared between the node's
-// application process and its server process; the simulator's sequential
-// scheduler serializes all access.
+// pageLoc maps a global page to its region-local position.
+type pageLoc struct {
+	region int16 // index into node.regions
+	local  int32 // page index within the region
+}
+
+// node holds the per-node DSM state above the coherence protocol: the
+// shared-memory layout, synchronization state, and the enhanced
+// interface's registrations. It is shared between the node's application
+// process and its server process; the simulator's sequential scheduler
+// serializes all access. All coherence state lives in nd.prot.
 type node struct {
 	id  int
 	sys *System
 	tm  *Tmk // the application-side handle, set in Run
 
+	// Coherence protocol instance (page metadata, vector clocks,
+	// intervals, diff or home state).
+	prot proto.Protocol
+
 	// Shared-memory layout. Allocation is deterministic and identical on
 	// all nodes, so global page ids agree everywhere.
 	regions    []regionHandle
-	pageMeta   []pageState
+	pageLocs   []pageLoc
 	nextPage   int
 	allocSeq   int
 	barrierSeq int
 
-	// Consistency state.
-	vc           []int32         // vc[q] = latest interval of q incorporated
-	curInterval  int32           // my open (unreleased) interval
-	dirty        []int32         // pages write-noticed in the open interval
-	log          [][]intervalRec // released intervals per process
-	recs         map[int32][]*diffRec
+	// Synchronization bookkeeping.
 	lastReported int32     // own intervals reported to the barrier manager
 	workerVC     [][]int32 // manager only: last-known vc per worker
-	orders       []int64   // orders[k-1]: causal sort key of own interval k
 
 	// Locks.
 	lockMgr  map[int]*lockManagerState // locks this node manages
@@ -119,12 +146,9 @@ type node struct {
 
 	// Enhanced-interface state: push pairings fired at every barrier and
 	// the broadcast sequence counter.
-	pushes   []pushDirective
+	pushes   []*proto.PushDirective
 	expects  []int
 	bcastSeq int
-
-	// Statistics local to the node (fault/twin/diff event counts).
-	Faults, Twins, DiffsMade, DiffsApplied int64
 
 	// Overhead attribution for the application process (the paper's
 	// §5/§6 analysis decomposes exactly these): virtual time spent
@@ -134,51 +158,14 @@ type node struct {
 	FaultTime, BarrierTime, LockTime, WriteTime sim.Time
 }
 
-// intervalRec is a released interval: the pages its owner wrote.
-type intervalRec struct {
-	interval int32
-	pages    []int32
-}
-
-// diffRec is one extracted diff for a page: a payload of typed segments.
-// Records for one page form a chain at the writer (seq ascending); a
-// requester holding the chain through some seq needs only newer records.
-// upto is the highest *released* writer interval the record covers (for
-// settling write notices) and order is the causal sort key (vector-clock
-// sum at release), strictly increasing along happens-before.
-type diffRec struct {
-	page    int32
-	seq     int32
-	upto    int32
-	order   int64
-	payload any
-	bytes   int
-}
-
-// pageState is the protocol metadata for one global page.
-type pageState struct {
-	region     int16 // index into node.regions
-	local      int32 // page index within the region
-	hasTwin    bool
-	twinWrite  int32   // interval of the most recent write fault
-	notice     []int32 // notice[q]: highest pending interval of writer q
-	applied    []int32 // applied[q]: highest interval of q applied here
-	appliedSeq []int32 // appliedSeq[q]: highest record seq of q applied here
-	recSeq     int32   // this node's record chain position for the page
-	lastSelf   int32   // last interval in which this node noticed the page
-}
-
 func newNode(id int, s *System) *node {
 	nd := &node{
-		id:          id,
-		sys:         s,
-		vc:          make([]int32, s.nprocs),
-		curInterval: 1,
-		log:         make([][]intervalRec, s.nprocs),
-		recs:        make(map[int32][]*diffRec),
-		lockMgr:     make(map[int]*lockManagerState),
-		lockHold:    make(map[int]*lockHolderState),
+		id:       id,
+		sys:      s,
+		lockMgr:  map[int]*lockManagerState{},
+		lockHold: map[int]*lockHolderState{},
 	}
+	nd.prot = proto.New(s.protocol, (*nodeHost)(nd))
 	if id == 0 {
 		nd.workerVC = make([][]int32, s.nprocs)
 		for w := range nd.workerVC {
@@ -197,139 +184,55 @@ func (nd *node) setWorkerVC(w int, vc []int32) {
 // workerVCAt returns the manager's last-known vector clock for worker w.
 func (nd *node) workerVCAt(w int) []int32 { return nd.workerVC[w] }
 
-// invalid reports whether the page has unapplied remote write notices.
-func (ps *pageState) invalid() bool {
-	for q := range ps.notice {
-		if ps.notice[q] > ps.applied[q] {
-			return true
-		}
-	}
-	return false
-}
-
-// addPages registers npages fresh global pages belonging to region rid.
+// addPages registers npages fresh global pages belonging to region rid,
+// both in the layout map and with the protocol.
 func (nd *node) addPages(rid, npages int) int {
 	base := nd.nextPage
 	for i := 0; i < npages; i++ {
-		nd.pageMeta = append(nd.pageMeta, pageState{
-			region:     int16(rid),
-			local:      int32(i),
-			notice:     make([]int32, nd.sys.nprocs),
-			applied:    make([]int32, nd.sys.nprocs),
-			appliedSeq: make([]int32, nd.sys.nprocs),
-		})
+		nd.pageLocs = append(nd.pageLocs, pageLoc{region: int16(rid), local: int32(i)})
 	}
 	nd.nextPage += npages
+	nd.prot.AddPages(npages)
 	return base
 }
 
-// releaseInterval closes the open interval: every dirtied page gets a
-// write notice, the interval is logged, the interval's causal order key
-// is recorded, and the vector clock advances. Called at lock release and
-// barrier arrival (an RC release operation).
-func (nd *node) releaseInterval() {
-	if len(nd.dirty) > 0 {
-		pages := make([]int32, len(nd.dirty))
-		copy(pages, nd.dirty)
-		nd.log[nd.id] = append(nd.log[nd.id], intervalRec{interval: nd.curInterval, pages: pages})
-		nd.dirty = nd.dirty[:0]
-	}
-	nd.vc[nd.id] = nd.curInterval
-	var sum int64
-	for _, v := range nd.vc {
-		sum += int64(v)
-	}
-	nd.orders = append(nd.orders, sum)
-	nd.curInterval++
+// nodeHost adapts a node to the proto.Host interface: it exposes the
+// node's identity, processes, cost model, and the region layer's
+// page-level data mechanism to the protocol, keyed by global page id.
+type nodeHost node
+
+func (h *nodeHost) NodeID() int           { return h.id }
+func (h *nodeHost) NProcs() int           { return h.sys.nprocs }
+func (h *nodeHost) AppProc() *sim.Proc    { return h.tm.p }
+func (h *nodeHost) ServerOf(node int) int { return h.sys.serverOf(node) }
+func (h *nodeHost) Costs() model.Costs    { return h.sys.costs }
+
+func (h *nodeHost) MakeTwin(gp int32) {
+	loc := h.pageLocs[gp]
+	h.regions[loc.region].makeTwin(loc.local)
 }
 
-// noticesSince collects the interval records of process q with interval
-// numbers in (from, to].
-func (nd *node) noticesSince(q int, from, to int32) []intervalRec {
-	var out []intervalRec
-	for _, ir := range nd.log[q] {
-		if ir.interval > from && ir.interval <= to {
-			out = append(out, ir)
-		}
-	}
-	return out
+func (h *nodeHost) ExtractDiff(gp int32, keepTwin bool) (any, int) {
+	loc := h.pageLocs[gp]
+	return h.regions[loc.region].extract(loc.local, keepTwin)
 }
 
-// noticeBatch is consistency information in flight: per-process interval
-// records the receiver has not seen.
-type noticeBatch struct {
-	proc      int
-	intervals []intervalRec
+func (h *nodeHost) ApplyDiff(gp int32, payload any) {
+	loc := h.pageLocs[gp]
+	h.regions[loc.region].apply(loc.local, payload)
 }
 
-// batchSince builds the notice batches for a receiver whose vector clock
-// is rvc, based on everything this node knows.
-func (nd *node) batchSince(rvc []int32) []noticeBatch {
-	var out []noticeBatch
-	for q := 0; q < nd.sys.nprocs; q++ {
-		if nd.vc[q] > rvc[q] {
-			ivs := nd.noticesSince(q, rvc[q], nd.vc[q])
-			out = append(out, noticeBatch{proc: q, intervals: ivs})
-		}
-	}
-	return out
+func (h *nodeHost) MergeDiffs(gp int32, payloads []any) (any, int) {
+	loc := h.pageLocs[gp]
+	return h.regions[loc.region].mergeRecs(payloads)
 }
 
-// batchBytes models the wire size of a batch of notices. Write notices
-// for consecutive pages are run-length encoded — an interval that
-// dirtied a contiguous block of pages (every regular application) costs
-// one range record, while scattered writes (MGS's cyclic vectors) cost
-// one record per run. This matches the linear-in-runs notice volumes of
-// Tables 2 and 3.
-func batchBytes(bs []noticeBatch) int {
-	n := 0
-	for _, b := range bs {
-		for _, iv := range b.intervals {
-			n += 16 // interval header
-			n += pageRuns(iv.pages) * 8
-		}
-	}
-	return n
+func (h *nodeHost) SnapshotPage(gp int32) (any, int) {
+	loc := h.pageLocs[gp]
+	return h.regions[loc.region].snapshotPage(loc.local)
 }
 
-// pageRuns counts maximal runs of consecutive page ids (the pages slice
-// is in write-touch order, which is ascending for sweeps).
-func pageRuns(pages []int32) int {
-	runs := 0
-	for i, pg := range pages {
-		if i == 0 || pg != pages[i-1]+1 {
-			runs++
-		}
-	}
-	return runs
-}
-
-// applyBatches incorporates received notices: log them, register page
-// invalidations, and advance the vector clock. Batches always carry the
-// contiguous interval range (receiver.vc, sender.vc] per process (see the
-// invariant comment in barrier.go), so advancing vc to the batch maximum
-// never skips intervals.
-func (nd *node) applyBatches(bs []noticeBatch) {
-	for _, b := range bs {
-		if b.proc == nd.id {
-			continue // never accept notices about our own intervals
-		}
-		for _, iv := range b.intervals {
-			if iv.interval <= nd.vc[b.proc] {
-				continue // already known
-			}
-			nd.log[b.proc] = append(nd.log[b.proc], iv)
-			for _, pg := range iv.pages {
-				ps := &nd.pageMeta[pg]
-				if iv.interval > ps.notice[b.proc] {
-					ps.notice[b.proc] = iv.interval
-				}
-			}
-			nd.vc[b.proc] = iv.interval
-		}
-	}
-}
-
-func (nd *node) String() string {
-	return fmt.Sprintf("node%d(vc=%v,int=%d)", nd.id, nd.vc, nd.curInterval)
+func (h *nodeHost) InstallPage(gp int32, payload any) {
+	loc := h.pageLocs[gp]
+	h.regions[loc.region].installPage(loc.local, payload)
 }

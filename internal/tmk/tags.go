@@ -1,18 +1,18 @@
 package tmk
 
-// Message tags. Barrier tags are offset by a rolling sequence number so
-// that a fast process arriving at barrier k+1 cannot have its arrival
-// consumed by the manager still collecting barrier k.
+// Message tags of the synchronization layer. Barrier tags are offset by
+// a rolling sequence number so that a fast process arriving at barrier
+// k+1 cannot have its arrival consumed by the manager still collecting
+// barrier k. The coherence-protocol subsystem (internal/proto) owns the
+// 16<<16 and up tag range for its own traffic (diff requests, pushes,
+// home flushes, page fetches); tmk must stay below it.
 const (
 	tagBarrierArrive = 1 << 16
 	tagBarrierDepart = 2 << 16
 	tagLockReq       = 3 << 16 // + lock id
 	tagLockForward   = 4 << 16 // + lock id
 	tagLockGrant     = 5 << 16 // + lock id
-	tagDiffReq       = 6 << 16
-	tagDiffResp      = 7 << 16
 	tagBcast         = 8 << 16
-	tagPush          = 9 << 16
 	tagExit          = 10 << 16
 	tagUser          = 11 << 16 // reserved for runtimes layered on tmk
 
@@ -21,12 +21,8 @@ const (
 
 // wire-format size constants (bytes) for control payloads.
 const (
-	vcBytes        = 4 // per process entry in a vector clock
-	diffReqHdr     = 12
-	diffReqPerPage = 16
-	diffRecHdr     = 8
-	diffSegHdr     = 4
-	lockReqBytes   = 16
-	grantHdr       = 16
-	pushHdr        = 16
+	vcBytes      = 4 // per process entry in a vector clock
+	lockReqBytes = 16
+	grantHdr     = 16
+	bcastHdr     = 16
 )

@@ -1,6 +1,7 @@
 package tmk
 
 import (
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -34,15 +35,19 @@ func (tm *Tmk) Proc() *sim.Proc { return tm.p }
 func (tm *Tmk) System() *System { return tm.sys }
 
 // FaultCount returns the number of access faults taken by this node.
-func (tm *Tmk) FaultCount() int64 { return tm.nd.Faults }
+func (tm *Tmk) FaultCount() int64 { return tm.nd.prot.Counters().Faults }
 
 // TwinCount returns the number of twins created by this node.
-func (tm *Tmk) TwinCount() int64 { return tm.nd.Twins }
+func (tm *Tmk) TwinCount() int64 { return tm.nd.prot.Counters().Twins }
 
 // DiffCounts returns (created, applied) diff counts for this node.
 func (tm *Tmk) DiffCounts() (made, applied int64) {
-	return tm.nd.DiffsMade, tm.nd.DiffsApplied
+	c := tm.nd.prot.Counters()
+	return c.DiffsMade, c.DiffsApplied
 }
+
+// Protocol returns the coherence protocol this system runs.
+func (tm *Tmk) Protocol() proto.Name { return tm.sys.protocol }
 
 // Profile is the overhead attribution of one application process — the
 // decomposition the paper's §5/§6 analysis reasons with.
@@ -81,7 +86,8 @@ func (tm *Tmk) shutdown() {
 }
 
 // serve is the request-server loop: the stand-in for TreadMarks' SIGIO
-// handler. It services diff requests and lock traffic while the node's
+// handler. It services lock traffic and the coherence protocol's
+// requests (diff fetches, home flushes, page fetches) while the node's
 // application process computes.
 func (nd *node) serve(p *sim.Proc) {
 	c := nd.sys.costs
@@ -90,10 +96,6 @@ func (nd *node) serve(p *sim.Proc) {
 		switch {
 		case m.Tag == tagExit:
 			return
-		case m.Tag == tagDiffReq:
-			p.Advance(c.HandlerWake)
-			resp, bytes := nd.handleDiffReq(p, m.Payload.(diffRequest))
-			p.Send(m.Src, tagDiffResp, resp, bytes, stats.KindDiff)
 		case m.Tag >= tagLockReq && m.Tag < tagLockReq+(1<<16):
 			p.Advance(c.HandlerWake)
 			nd.handleLockReq(p, m.Payload.(lockReqMsg))
@@ -101,7 +103,9 @@ func (nd *node) serve(p *sim.Proc) {
 			p.Advance(c.HandlerWake)
 			nd.handleLockForward(p, m.Payload.(lockReqMsg))
 		default:
-			panic("tmk: server received unexpected message")
+			if !nd.prot.HandleServer(p, m) {
+				panic("tmk: server received unexpected message")
+			}
 		}
 	}
 }

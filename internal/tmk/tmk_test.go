@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/model"
+	"repro/internal/proto"
 	"repro/internal/stats"
 )
 
@@ -459,7 +460,8 @@ func TestPushOnBarrier(t *testing.T) {
 
 func TestGCSquashBoundsRecords(t *testing.T) {
 	sys := newTestSystem(2)
-	rounds := gcThreshold*2 + 5
+	// Run well past two squashes.
+	rounds := proto.GCThreshold*2 + 5
 	err := sys.Run(func(tm *Tmk) {
 		r := Alloc[float32](tm, "a", 1024)
 		for k := 0; k < rounds; k++ {
@@ -871,8 +873,8 @@ func TestPageRunsEncoding(t *testing.T) {
 		{[]int32{1, 2, 3, 10, 11, 20}, 3},
 	}
 	for _, c := range cases {
-		if got := pageRuns(c.pages); got != c.want {
-			t.Errorf("pageRuns(%v) = %d, want %d", c.pages, got, c.want)
+		if got := proto.PageRuns(c.pages); got != c.want {
+			t.Errorf("PageRuns(%v) = %d, want %d", c.pages, got, c.want)
 		}
 	}
 }

@@ -4,16 +4,22 @@
 //
 // Usage:
 //
-//	dsmrun -app Jacobi -version tmk [-procs 8] [-scale mid] [-protocol lrc|hlrc]
+//	dsmrun -app Jacobi -version tmk [-procs 8] [-scale mid] [-protocol lrc|hlrc] [-json]
 //
-// Versions: seq, spf, tmk, xhpf, pvme, spf-opt, tmk-opt, spf-old
-// (availability varies by application; see -list). The -protocol flag
-// selects the DSM coherence protocol for the shared-memory versions:
-// lrc (homeless TreadMarks LRC, the paper's protocol and the default)
-// or hlrc (home-based LRC).
+// Versions: seq, spf, tmk, xhpf, pvme, spf-opt, tmk-opt, spf-old,
+// spf-gen, xhpf-gen (availability varies by application; see -list).
+// The -protocol flag selects the DSM coherence protocol for the
+// shared-memory versions: lrc (homeless TreadMarks LRC, the paper's
+// protocol and the default) or hlrc (home-based LRC). The spf-gen and
+// xhpf-gen versions are compiled from the kernel's loop-nest IR by the
+// internal/loopc front end instead of being hand-written.
+//
+// With -json the result is emitted as a single JSON object (time,
+// speedup, messages, bytes, checksum) for scripted benchmarking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,17 +29,33 @@ import (
 	"repro/internal/proto"
 )
 
+// jsonResult is the machine-readable run record emitted by -json.
+type jsonResult struct {
+	App         string  `json:"app"`
+	Version     string  `json:"version"`
+	Procs       int     `json:"procs"`
+	Scale       string  `json:"scale"`
+	Protocol    string  `json:"protocol,omitempty"`
+	TimeSeconds float64 `json:"time_seconds"`
+	Msgs        int64   `json:"msgs"`
+	Bytes       int64   `json:"bytes"`
+	Checksum    float64 `json:"checksum"`
+	SeqSeconds  float64 `json:"seq_seconds,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
 func main() {
 	app := flag.String("app", "Jacobi", "application name (see -list)")
 	version := flag.String("version", "tmk", "version to run")
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	scale := flag.String("scale", "mid", "problem scale: paper, mid, or small")
 	protocol := flag.String("protocol", "", "DSM coherence protocol: lrc (default) or hlrc")
+	asJSON := flag.Bool("json", false, "emit the run result as one JSON object")
 	list := flag.Bool("list", false, "list applications and versions")
 	flag.Parse()
 
 	if *list {
-		for _, a := range harness.Apps() {
+		for _, a := range harness.AllApps() {
 			fmt.Printf("%-9s versions:", a.Name())
 			for _, v := range a.Versions() {
 				fmt.Printf(" %s", v)
@@ -59,6 +81,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var seq core.Result
+	haveSeq := false
+	if *version != "seq" {
+		if seq, err = r.Run(a, core.Seq); err == nil {
+			haveSeq = true
+		}
+	}
+
+	if *asJSON {
+		out := jsonResult{
+			App: res.App, Version: string(res.Version), Procs: res.Procs,
+			Scale: *scale, Protocol: string(res.Protocol),
+			TimeSeconds: res.Time.Seconds(),
+			Msgs:        res.Stats.TotalMsgs(),
+			Bytes:       res.Stats.TotalBytes(),
+			Checksum:    res.Checksum,
+		}
+		if haveSeq {
+			out.SeqSeconds = seq.Time.Seconds()
+			out.Speedup = res.Speedup(seq.Time)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("app=%s version=%s procs=%d scale=%s", res.App, res.Version, res.Procs, *scale)
 	if res.Protocol != "" {
 		fmt.Printf(" protocol=%s", res.Protocol)
@@ -73,10 +124,7 @@ func main() {
 		fmt.Printf("overheads = fault %v, sync %v, write-detect %v (summed over %d procs)\n",
 			res.FaultTime, res.SyncTime, res.WriteTime, res.Procs)
 	}
-	if *version != "seq" {
-		seq, err := r.Run(a, core.Seq)
-		if err == nil {
-			fmt.Printf("speedup   = %.2f (seq %v)\n", res.Speedup(seq.Time), seq.Time)
-		}
+	if haveSeq {
+		fmt.Printf("speedup   = %.2f (seq %v)\n", res.Speedup(seq.Time), seq.Time)
 	}
 }

@@ -11,7 +11,9 @@
 // of the time. The protocols experiment (-only protocols) compares the
 // homeless TreadMarks LRC against the home-based LRC on every
 // application at 1-8 nodes; -protocol selects the coherence protocol the
-// other experiments run under (default: lrc, the paper's).
+// other experiments run under (default: lrc, the paper's). The compiler
+// experiment (-only compiler) runs the internal/loopc-generated
+// spf-gen/xhpf-gen versions next to their hand-coded counterparts.
 package main
 
 import (
@@ -28,7 +30,7 @@ func main() {
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	scale := flag.String("scale", "paper", "problem scale: paper, mid, or small")
 	protocol := flag.String("protocol", "", "DSM coherence protocol: lrc (default) or hlrc")
-	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols)")
+	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler)")
 	flag.Parse()
 
 	pname, err := proto.Parse(*protocol)
@@ -57,6 +59,7 @@ func main() {
 			return harness.Scalability(w, r, "Jacobi", []int{2, 4, 8})
 		},
 		"protocols": func(w *os.File, r *harness.Runner) error { return harness.Protocols(w, r) },
+		"compiler":  func(w *os.File, r *harness.Runner) error { return harness.Compiler(w, r) },
 	}
 	order := []string{"table1", "figure1", "table2", "figure2", "table3", "handopt", "interface"}
 	want := order
@@ -66,7 +69,7 @@ func main() {
 	for _, name := range want {
 		f, ok := table[strings.TrimSpace(name)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability, protocols)\n", name, strings.Join(order, ", "))
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability, protocols, compiler)\n", name, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		run(name, f)

@@ -204,8 +204,9 @@ type XHPFProgram struct {
 	Checksum func() float64
 }
 
-// RunXHPF measures an XHPF program.
-func RunXHPF(app string, cfg core.Config, setup func(x *xhpf.XHPF) XHPFProgram) (core.Result, error) {
+// RunXHPF measures an XHPF program. v distinguishes the hand-written
+// compiler model (core.XHPF) from the loopc-generated one (core.XHPFGen).
+func RunXHPF(app string, v core.Version, cfg core.Config, setup func(x *xhpf.XHPF) XHPFProgram) (core.Result, error) {
 	sys := xhpf.NewSystem(cfg.Procs, cfg.Costs)
 	reg := core.NewRegion(cfg.Procs)
 	var sum float64
@@ -239,7 +240,7 @@ func RunXHPF(app string, cfg core.Config, setup func(x *xhpf.XHPF) XHPFProgram) 
 		return core.Result{}, err
 	}
 	return core.Result{
-		App: app, Version: core.XHPF, Procs: cfg.Procs,
+		App: app, Version: v, Procs: cfg.Procs,
 		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
 	}, nil
 }

@@ -443,7 +443,7 @@ func runXHPF(cfg core.Config) (core.Result, error) {
 	kn := newKernel(cfg)
 	total := kn.n1 * kn.n2 * kn.n3
 	idx := checksumIndices(total)
-	return apputil.RunXHPF("3-D FFT", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+	return apputil.RunXHPF("3-D FFT", core.XHPF, cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
 		me, nprocs := x.ID(), x.NProcs()
 		xs := make([]complex128, total)
 		xt := make([]complex128, total)

@@ -316,7 +316,7 @@ func runSPF(cfg core.Config) (core.Result, error) {
 func runXHPF(cfg core.Config) (core.Result, error) {
 	n := cfg.N1
 	total := cfg.Warmup + cfg.Iters
-	return apputil.RunXHPF("IGrid", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+	return apputil.RunXHPF("IGrid", core.XHPF, cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
 		old := make([]float32, n*n)
 		cur := make([]float32, n*n)
 		idx := buildMap(n)

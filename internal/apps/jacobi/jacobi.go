@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/apps/apputil"
 	"repro/internal/core"
+	"repro/internal/loopc"
 	"repro/internal/pvm"
 	"repro/internal/spf"
 	"repro/internal/tmk"
@@ -47,7 +48,7 @@ func (app) SmallConfig(procs int) core.Config {
 }
 
 func (app) Versions() []core.Version {
-	return []core.Version{core.Seq, core.SPF, core.Tmk, core.XHPF, core.PVMe, core.SPFOpt, core.SPFOld, core.TmkPush}
+	return []core.Version{core.Seq, core.SPF, core.Tmk, core.XHPF, core.PVMe, core.SPFOpt, core.SPFOld, core.TmkPush, core.SPFGen, core.XHPFGen}
 }
 
 func (a app) Run(v core.Version, cfg core.Config) (core.Result, error) {
@@ -68,6 +69,10 @@ func (a app) Run(v core.Version, cfg core.Config) (core.Result, error) {
 		return runXHPF(cfg)
 	case core.PVMe:
 		return runPVM(cfg)
+	case core.SPFGen:
+		return loopc.RunSPF("Jacobi", core.SPFGen, cfg, IR(cfg))
+	case core.XHPFGen:
+		return loopc.RunXHPF("Jacobi", core.XHPFGen, cfg, IR(cfg))
 	}
 	return core.Result{}, fmt.Errorf("jacobi: unsupported version %q", v)
 }
@@ -260,7 +265,7 @@ func runSPF(cfg core.Config, opts spf.Options, aggregated bool) (core.Result, er
 // and runtime synchronization at each parallel-loop boundary.
 func runXHPF(cfg core.Config) (core.Result, error) {
 	n := cfg.N1
-	return apputil.RunXHPF("Jacobi", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+	return apputil.RunXHPF("Jacobi", core.XHPF, cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
 		data := make([]float32, n*n)
 		scratch := make([]float32, n*n)
 		initGrid(data, n)

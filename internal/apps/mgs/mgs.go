@@ -228,7 +228,7 @@ func runSPF(cfg core.Config) (core.Result, error) {
 // XHPF penalty), and the cyclic owner-computes loop updates local rows.
 func runXHPF(cfg core.Config) (core.Result, error) {
 	n := cfg.N1
-	return apputil.RunXHPF("MGS", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+	return apputil.RunXHPF("MGS", core.XHPF, cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
 		m := make([]float32, n*n)
 		initMatrix(m, n)
 		me, nprocs := x.ID(), x.NProcs()

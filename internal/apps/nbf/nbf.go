@@ -337,7 +337,7 @@ func runSPF(cfg core.Config) (core.Result, error) {
 
 func runXHPF(cfg core.Config) (core.Result, error) {
 	m := cfg.N1
-	return apputil.RunXHPF("NBF", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+	return apputil.RunXHPF("NBF", core.XHPF, cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
 		xs := make([]float32, m)
 		ys := make([]float32, m)
 		zs := make([]float32, m)

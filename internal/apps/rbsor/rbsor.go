@@ -1,0 +1,292 @@
+// Package rbsor implements red-black successive over-relaxation, the
+// first application added through the internal/loopc compiler front
+// end rather than reproduced from the paper. The kernel is the classic
+// 5-point Gauss-Seidel relaxation with over-relaxation factor ω,
+// split into two half-sweeps by the parity of (i+j): the red sweep
+// updates even points reading only black neighbors, the black sweep
+// the reverse. In-place updates make the nest look serial to a naive
+// dependence test; the parity split is exactly what loopc's analyzer
+// must see through to classify both sweeps DOALL (and what the paper's
+// compilers saw through on real codes).
+//
+// The grid geometry matches Jacobi: an N×N single-precision grid,
+// edges fixed at one, interior starting at zero, row-partitioned with
+// single-row halos.
+package rbsor
+
+import (
+	"fmt"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/loopc"
+	"repro/internal/pvm"
+	"repro/internal/spf"
+	"repro/internal/tmk"
+	"repro/internal/xhpf"
+)
+
+// Over-relaxation factor and the derived update coefficients. Both are
+// exactly representable in float32, so constant folding here and
+// Lit(...) constants in the IR agree to the bit.
+const (
+	omega    = 1.25
+	cSelf    = 1 - omega    // -0.25
+	cStencil = omega * 0.25 // 0.3125
+)
+
+// app implements core.App.
+type app struct{}
+
+// New returns the red-black SOR application.
+func New() core.App { return app{} }
+
+func (app) Name() string { return "RB-SOR" }
+
+func (app) PaperConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 2048, Iters: 100, Warmup: 1}
+}
+
+func (app) SmallConfig(procs int) core.Config {
+	return core.Config{Procs: procs, N1: 64, Iters: 4, Warmup: 1}
+}
+
+func (app) Versions() []core.Version {
+	return []core.Version{core.Seq, core.SPF, core.Tmk, core.XHPF, core.PVMe, core.SPFGen, core.XHPFGen}
+}
+
+func (a app) Run(v core.Version, cfg core.Config) (core.Result, error) {
+	switch v {
+	case core.Seq:
+		return runSeq(cfg)
+	case core.Tmk:
+		return runTmk(cfg)
+	case core.SPF:
+		return runSPF(cfg)
+	case core.XHPF:
+		return runXHPF(cfg)
+	case core.PVMe:
+		return runPVM(cfg)
+	case core.SPFGen:
+		return loopc.RunSPF("RB-SOR", core.SPFGen, cfg, IR(cfg))
+	case core.XHPFGen:
+		return loopc.RunXHPF("RB-SOR", core.XHPFGen, cfg, IR(cfg))
+	}
+	return core.Result{}, fmt.Errorf("rbsor: unsupported version %q", v)
+}
+
+// initGrid sets edges to one and the interior to zero.
+func initGrid(g []float32, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == 0 || j == 0 || i == n-1 || j == n-1 {
+				g[i*n+j] = 1
+			} else {
+				g[i*n+j] = 0
+			}
+		}
+	}
+}
+
+// sweepRows relaxes the points of one color ((i+j) mod 2 == color) in
+// interior columns of rows [rlo,rhi), in place, and returns the number
+// of points updated. The expression shape — cSelf*self +
+// cStencil*(((up+down)+left)+right) — is the one the IR encodes.
+func sweepRows(u []float32, n, rlo, rhi, color int) int {
+	cnt := 0
+	for i := rlo; i < rhi; i++ {
+		s := i * n
+		for j := 1; j < n-1; j++ {
+			if (i+j)&1 != color {
+				continue
+			}
+			u[s+j] = cSelf*u[s+j] + cStencil*(u[s-n+j]+u[s+n+j]+u[s+j-1]+u[s+j+1])
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func runSeq(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunSeq("RB-SOR", cfg, func(tm *tmk.Tmk) apputil.SeqProgram {
+		u := make([]float32, n*n)
+		initGrid(u, n)
+		return apputil.SeqProgram{
+			Iterate: func(k int) {
+				for color := 0; color < 2; color++ {
+					cnt := sweepRows(u, n, 1, n-1, color)
+					tm.Advance(apputil.Cost(cnt, cfg.App.SORUpdate))
+				}
+			},
+			Checksum: func() float64 { return apputil.Sum64(u) },
+		}
+	})
+}
+
+// runTmk is the hand-coded TreadMarks version: the grid is shared,
+// each process relaxes its own rows in place, and a barrier separates
+// the color sweeps (black reads red's boundary updates).
+func runTmk(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunTmk("RB-SOR", core.Tmk, cfg, func(tm *tmk.Tmk) apputil.TmkProgram {
+		u := tmk.Alloc[float32](tm, "u", n*n)
+		lo, hi := apputil.BlockOf(tm.ID(), tm.NProcs(), n-2)
+		lo, hi = lo+1, hi+1 // interior rows
+		rows := hi - lo
+		if tm.ID() == 0 {
+			w := u.Write(0, n*n)
+			initGrid(w[:n*n], n)
+		}
+		tm.Barrier()
+		return apputil.TmkProgram{
+			Iterate: func(k int) {
+				for color := 0; color < 2; color++ {
+					if rows > 0 {
+						u.Read((lo-1)*n, (hi+1)*n)
+						w := u.Write(lo*n, hi*n)
+						cnt := sweepRows(w, n, lo, hi, color)
+						tm.Advance(apputil.Cost(cnt, cfg.App.SORUpdate))
+					}
+					tm.Barrier()
+				}
+			},
+			Checksum: func() float64 {
+				g := u.Read(0, n*n)
+				return apputil.Sum64(g[:n*n])
+			},
+		}
+	})
+}
+
+// runSPF is the hand-written rendition of what the SPF compiler emits
+// for the red-black nest: the grid in shared memory and one
+// encapsulated parallel-loop subroutine per color sweep. It is the
+// reference the generated spf-gen version must match bit for bit.
+func runSPF(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunSPF("RB-SOR", core.SPF, cfg, spf.Options{}, func(rt *spf.Runtime) apputil.SPFProgram {
+		tm := rt.Tmk()
+		u := tmk.Alloc[float32](tm, "u", n*n)
+		sweeps := make([]int, 2)
+		for color := 0; color < 2; color++ {
+			color := color
+			sweeps[color] = rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+				if lo >= hi {
+					return
+				}
+				u.Read((lo-1)*n, (hi+1)*n)
+				w := u.Write(lo*n, hi*n)
+				cnt := sweepRows(w, n, lo, hi, color)
+				rt.Advance(apputil.Cost(cnt, cfg.App.SORUpdate))
+			})
+		}
+		if rt.IsMaster() {
+			w := u.Write(0, n*n)
+			initGrid(w[:n*n], n)
+		}
+		return apputil.SPFProgram{
+			IterateMaster: func(k int) {
+				rt.ParallelDo(sweeps[0], 1, n-1, spf.Block)
+				rt.ParallelDo(sweeps[1], 1, n-1, spf.Block)
+			},
+			Checksum: func() float64 {
+				g := u.Read(0, n*n)
+				return apputil.Sum64(g[:n*n])
+			},
+		}
+	})
+}
+
+// runXHPF is the hand-written rendition of the XHPF output: BLOCK row
+// distribution, a halo exchange before each color sweep (the stencil
+// reads the neighbor's boundary rows, freshly updated by the previous
+// sweep), and runtime synchronization at the loop boundaries. The
+// generated xhpf-gen version must match it bit for bit.
+func runXHPF(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunXHPF("RB-SOR", core.XHPF, cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+		u := make([]float32, n*n)
+		initGrid(u, n)
+		elo, ehi := x.Block(n * n)
+		rlo, rhi := elo/n, ehi/n
+		clo, chi := max(rlo, 1), min(rhi, n-1)
+		return apputil.XHPFProgram{
+			Iterate: func(k int) {
+				for color := 0; color < 2; color++ {
+					xhpf.ExchangeHalo(x, u, n*n, n)
+					if chi > clo {
+						cnt := sweepRows(u, n, clo, chi, color)
+						x.Advance(apputil.Cost(cnt, cfg.App.SORUpdate))
+					}
+					x.LoopSync()
+				}
+			},
+			Checksum: func() float64 {
+				gatherRows(x.PVM(), u, n, rlo, rhi)
+				if x.ID() != 0 {
+					return 0
+				}
+				return apputil.Sum64(u)
+			},
+		}
+	})
+}
+
+// runPVM is the hand-coded message-passing version: each color sweep
+// is preceded by a direct boundary-row exchange with the neighbors —
+// the message doubles as the synchronization.
+func runPVM(cfg core.Config) (core.Result, error) {
+	n := cfg.N1
+	return apputil.RunPVM("RB-SOR", core.PVMe, cfg, func(pv *pvm.PVM) apputil.PVMProgram {
+		u := make([]float32, n*n)
+		initGrid(u, n)
+		elo, ehi := apputil.BlockOf(pv.ID(), pv.NProcs(), n*n)
+		rlo, rhi := elo/n, ehi/n
+		clo, chi := max(rlo, 1), min(rhi, n-1)
+		me := pv.ID()
+		last := pv.NProcs() - 1
+		return apputil.PVMProgram{
+			Iterate: func(k int) {
+				for color := 0; color < 2; color++ {
+					up, down := 70+2*color, 71+2*color
+					if me > 0 {
+						pvm.Send(pv, me-1, up, u[rlo*n:(rlo+1)*n])
+					}
+					if me < last {
+						pvm.Send(pv, me+1, down, u[(rhi-1)*n:rhi*n])
+					}
+					if me > 0 {
+						pvm.Recv(pv, me-1, down, u[(rlo-1)*n:rlo*n])
+					}
+					if me < last {
+						pvm.Recv(pv, me+1, up, u[rhi*n:(rhi+1)*n])
+					}
+					if chi > clo {
+						cnt := sweepRows(u, n, clo, chi, color)
+						pv.Advance(apputil.Cost(cnt, cfg.App.SORUpdate))
+					}
+				}
+			},
+			Checksum: func() float64 {
+				gatherRows(pv, u, n, rlo, rhi)
+				if pv.ID() != 0 {
+					return 0
+				}
+				return apputil.Sum64(u)
+			},
+		}
+	})
+}
+
+// gatherRows collects every task's row block on task 0, untracked.
+func gatherRows(pv *pvm.PVM, data []float32, n, rlo, rhi int) {
+	if pv.ID() == 0 {
+		for q := 1; q < pv.NProcs(); q++ {
+			qlo, qhi := apputil.BlockOf(q, pv.NProcs(), n*n)
+			pvm.RecvUntracked(pv, q, 90+q, data[qlo:qhi])
+		}
+		return
+	}
+	pvm.SendUntracked(pv, 0, 90+pv.ID(), data[rlo*n:rhi*n])
+}

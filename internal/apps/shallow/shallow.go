@@ -499,7 +499,7 @@ func runSPF(cfg core.Config, merged bool) (core.Result, error) {
 
 func runXHPF(cfg core.Config) (core.Result, error) {
 	n := cfg.N1
-	return apputil.RunXHPF("Shallow", cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+	return apputil.RunXHPF("Shallow", core.XHPF, cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
 		me, nprocs := x.ID(), x.NProcs()
 		s := newLocalState(n)
 		s.init()

@@ -50,6 +50,13 @@ const (
 	// §8's push: producers ship boundary diffs with the barrier, so
 	// consumers never fault.
 	TmkPush Version = "tmk-push"
+	// SPFGen is the internal/loopc-compiled fork-join DSM version: the
+	// same runtime as SPF, but the code is derived from the kernel's
+	// loop-nest IR instead of written by hand. Bit-identical to SPF.
+	SPFGen Version = "spf-gen"
+	// XHPFGen is the internal/loopc-compiled message-passing version,
+	// derived from the same IR. Bit-identical to XHPF.
+	XHPFGen Version = "xhpf-gen"
 )
 
 // Config carries a run's parameters. The per-application meaning of N1,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/apps/jacobi"
 	"repro/internal/apps/mgs"
 	"repro/internal/apps/nbf"
+	"repro/internal/apps/rbsor"
 	"repro/internal/apps/shallow"
 	"repro/internal/core"
 	"repro/internal/model"
@@ -24,9 +25,16 @@ func Apps() []core.App {
 	}
 }
 
-// AppByName finds an application.
+// AllApps returns every application: the paper's six plus the kernels
+// added through the internal/loopc compiler front end (the paper
+// tables iterate Apps; version-level experiments iterate these).
+func AllApps() []core.App {
+	return append(Apps(), rbsor.New())
+}
+
+// AppByName finds an application (including the non-paper kernels).
 func AppByName(name string) (core.App, error) {
-	for _, a := range Apps() {
+	for _, a := range AllApps() {
 		if a.Name() == name {
 			return a, nil
 		}
@@ -92,6 +100,8 @@ func (r *Runner) Config(app core.App, procs int) core.Config {
 			cfg.N1, cfg.Iters = 500, 10
 		case "NBF":
 			cfg.N1, cfg.N2, cfg.N3, cfg.Iters = 8192, 256, 50, 8
+		case "RB-SOR":
+			cfg.N1, cfg.Iters = 1024, 20
 		}
 	default:
 		cfg = app.PaperConfig(procs)

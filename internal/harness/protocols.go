@@ -38,7 +38,7 @@ func DSMVersions(a core.App) []core.Version {
 	var out []core.Version
 	for _, v := range a.Versions() {
 		switch v {
-		case core.Tmk, core.TmkOpt, core.TmkPush, core.SPF, core.SPFOpt, core.SPFOld:
+		case core.Tmk, core.TmkOpt, core.TmkPush, core.SPF, core.SPFOpt, core.SPFOld, core.SPFGen:
 			out = append(out, v)
 		}
 	}

@@ -1,0 +1,198 @@
+package loopc
+
+import "fmt"
+
+// Class is the analyzer's verdict on a nest's row loop — the loop the
+// backends distribute.
+type Class int
+
+const (
+	// DOALL: no row-carried dependence; iterations may run in parallel.
+	DOALL Class = iota
+	// Reduction: DOALL except for recognized scalar reductions, which
+	// the backends lower to combining trees.
+	Reduction
+	// Serial: a row-carried or unanalyzable dependence; the nest runs
+	// sequentially (master-only on the DSM, replicated under message
+	// passing).
+	Serial
+)
+
+func (c Class) String() string {
+	switch c {
+	case DOALL:
+		return "DOALL"
+	case Reduction:
+		return "reduction"
+	}
+	return "serial"
+}
+
+// Dep is one dependence the analyzer tested: a write paired with
+// another access to the same array inside one nest. Dist is the
+// distance vector (row, col) when both accesses are analyzable;
+// Analyzable is false otherwise (mismatched or constant index vars).
+// Refuted dependences are disproved by the nest's parity guard: the
+// write and the access touch elements of different (row+col) parity.
+type Dep struct {
+	Array      string
+	Dist       [2]int
+	Analyzable bool
+	Refuted    bool
+}
+
+// Carried reports whether the dependence constrains row parallelism:
+// unanalyzable, or a nonzero row distance, unless parity-refuted.
+func (d Dep) Carried() bool {
+	if d.Refuted {
+		return false
+	}
+	return !d.Analyzable || d.Dist[0] != 0
+}
+
+// ArrayUse summarizes how a nest touches one array.
+type ArrayUse struct {
+	Read, Written        bool
+	MinRowOff, MaxRowOff int // over row-var-matched reads
+	// NonRowRead marks a read whose row index is not the row loop var
+	// (a constant row, or the column var). Legal in a parallel nest
+	// only for never-written arrays, but the rows it touches are
+	// unrelated to the executing slice, so the whole array must be
+	// validated on the DSM.
+	NonRowRead bool
+}
+
+// NestInfo is the analysis result for one nest.
+type NestInfo struct {
+	Nest    *Nest
+	Class   Class
+	Why     string // Serial only: the disqualifying reason
+	Deps    []Dep
+	Uses    map[string]*ArrayUse
+	Reduces []*Stmt // the nest's reduction statements
+}
+
+// mod2 is the nonnegative remainder of x by 2.
+func mod2(x int) int { return ((x % 2) + 2) % 2 }
+
+// analyzeNest classifies one nest. writtenAnywhere marks arrays any
+// nest of the program writes (reads of those through unanalyzable row
+// indexes cannot be satisfied from a replicated copy, so they serialize
+// the nest).
+func analyzeNest(nst *Nest, writtenAnywhere map[string]bool) *NestInfo {
+	info := &NestInfo{Nest: nst, Uses: map[string]*ArrayUse{}}
+	use := func(name string) *ArrayUse {
+		u := info.Uses[name]
+		if u == nil {
+			u = &ArrayUse{}
+			info.Uses[name] = u
+		}
+		return u
+	}
+
+	// Collect the nest's writes and reads.
+	type acc struct {
+		a     Access
+		write bool
+	}
+	var accs []acc
+	serialize := func(why string) {
+		if info.Class != Serial {
+			info.Class = Serial
+			info.Why = why
+		}
+	}
+	for _, s := range nst.Stmts {
+		if s.ReduceInto != "" {
+			info.Reduces = append(info.Reduces, s)
+		} else {
+			accs = append(accs, acc{s.LHS, true})
+			u := use(s.LHS.Array)
+			u.Written = true
+			// Owner-computes needs the written row to be the iteration's
+			// own row.
+			if s.LHS.Row.Var != nst.Row.Var || s.LHS.Row.Off != 0 {
+				serialize(fmt.Sprintf("write %s[%s%+d] not aligned with the row loop",
+					s.LHS.Array, s.LHS.Row.Var, s.LHS.Row.Off))
+			}
+		}
+		s.RHS.walk(func(a Access) {
+			accs = append(accs, acc{a, false})
+			u := use(a.Array)
+			if a.Row.Var == nst.Row.Var {
+				if !u.Read || a.Row.Off < u.MinRowOff {
+					u.MinRowOff = a.Row.Off
+				}
+				if !u.Read || a.Row.Off > u.MaxRowOff {
+					u.MaxRowOff = a.Row.Off
+				}
+			} else {
+				u.NonRowRead = true
+				if writtenAnywhere[a.Array] {
+					// A replicated/owner copy cannot serve this read.
+					serialize(fmt.Sprintf("read %s through non-row index %q", a.Array, a.Row.Var))
+				}
+			}
+			u.Read = true
+		})
+	}
+
+	// Pairwise dependence test: every write against every access of the
+	// same array (both orders are covered because the pair is symmetric
+	// for DOALL purposes — any row-carried dependence disqualifies).
+	analyzable := func(a Access) bool {
+		return a.Row.Var == nst.Row.Var && a.Col.Var == nst.Col.Var
+	}
+	for _, w := range accs {
+		if !w.write {
+			continue
+		}
+		for _, a := range accs {
+			if a.a.Array != w.a.Array || (a.write && a.a == w.a) {
+				continue
+			}
+			d := Dep{Array: w.a.Array}
+			if analyzable(w.a) && analyzable(a.a) {
+				d.Analyzable = true
+				d.Dist = [2]int{w.a.Row.Off - a.a.Row.Off, w.a.Col.Off - a.a.Col.Off}
+				if nst.Guard != nil {
+					// Under the guard, iteration parity (row+col) is fixed,
+					// so the element parities the two accesses touch are
+					// fixed too; different parities never alias.
+					pw := mod2(nst.Guard.Rem + w.a.Row.Off + w.a.Col.Off)
+					pa := mod2(nst.Guard.Rem + a.a.Row.Off + a.a.Col.Off)
+					d.Refuted = pw != pa
+				}
+			}
+			info.Deps = append(info.Deps, d)
+			if d.Carried() {
+				serialize(fmt.Sprintf("row-carried dependence on %s (distance %v)", d.Array, d.Dist))
+			}
+		}
+	}
+
+	if info.Class != Serial && len(info.Reduces) > 0 {
+		info.Class = Reduction
+	}
+	return info
+}
+
+// Analyze validates a program and classifies every nest.
+func Analyze(p *Program) ([]*NestInfo, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	written := map[string]bool{}
+	for _, nst := range p.Nests {
+		for _, s := range nst.Stmts {
+			if s.ReduceInto == "" {
+				written[s.LHS.Array] = true
+			}
+		}
+	}
+	infos := make([]*NestInfo, len(p.Nests))
+	for i, nst := range p.Nests {
+		infos[i] = analyzeNest(nst, written)
+	}
+	return infos, nil
+}

@@ -1,0 +1,97 @@
+package loopc
+
+import "sort"
+
+// Step is the execution plan for one nest: how it runs and what
+// communication the backend must insert before it.
+type Step struct {
+	Info *NestInfo
+
+	// Parallel nests: BLOCK row distribution over [Row.Lo, Row.Hi).
+	Parallel bool
+
+	// Halo lists, in array-declaration order, the arrays a parallel
+	// nest reads beyond its own rows, with the exchange width in rows —
+	// the maximum absolute row dependence distance of the reads.
+	Halo []HaloNeed
+
+	// Bcast lists, in array-declaration order, the arrays a serial nest
+	// reads that some nest writes: under message passing the replicated
+	// copies must be made current before replicated execution.
+	Bcast []string
+
+	// ReadRange gives, per read array, the row-offset window
+	// [MinRowOff, MaxRowOff] a parallel slice [lo,hi) must validate:
+	// rows [lo+Min, hi+Max), clamped to the array.
+	ReadRange map[string][2]int
+
+	// FullRead marks read arrays whose rows cannot be derived from the
+	// slice (a non-row row index; legal only for never-written arrays):
+	// the DSM backend must validate the whole region. The
+	// message-passing backend's replicated copies cover them by
+	// construction.
+	FullRead map[string]bool
+}
+
+// HaloNeed is one halo exchange: array and width in rows.
+type HaloNeed struct {
+	Array string
+	Width int
+}
+
+// Plan runs the analyzer and the distribution pass: BLOCK row
+// partitions for every DOALL/reduction nest, halo widths from the
+// dependence distances, broadcasts for the replicated reads of serial
+// nests.
+func Plan(p *Program) ([]*Step, error) {
+	infos, err := Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	written := map[string]bool{}
+	for _, info := range infos {
+		for name, u := range info.Uses {
+			if u.Written {
+				written[name] = true
+			}
+		}
+	}
+	declOrder := p.arrayIndex()
+	steps := make([]*Step, len(infos))
+	for i, info := range infos {
+		st := &Step{Info: info, ReadRange: map[string][2]int{}, FullRead: map[string]bool{}}
+		steps[i] = st
+		if info.Class == Serial {
+			for name, u := range info.Uses {
+				if u.Read && written[name] {
+					st.Bcast = append(st.Bcast, name)
+				}
+			}
+			sort.Slice(st.Bcast, func(a, b int) bool {
+				return declOrder[st.Bcast[a]] < declOrder[st.Bcast[b]]
+			})
+			continue
+		}
+		st.Parallel = true
+		for name, u := range info.Uses {
+			if !u.Read {
+				continue
+			}
+			st.ReadRange[name] = [2]int{u.MinRowOff, u.MaxRowOff}
+			if u.NonRowRead {
+				st.FullRead[name] = true
+			}
+			w := -u.MinRowOff
+			if u.MaxRowOff > w {
+				w = u.MaxRowOff
+			}
+			if w > 0 {
+				st.Halo = append(st.Halo, HaloNeed{Array: name, Width: w})
+			}
+		}
+		sort.Slice(st.Halo, func(a, b int) bool {
+			return declOrder[st.Halo[a].Array] < declOrder[st.Halo[b].Array]
+		})
+	}
+	return steps, nil
+}

@@ -1,0 +1,184 @@
+package loopc
+
+import (
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/spf"
+	"repro/internal/tmk"
+)
+
+// readSpan is one array's read window for a parallel slice: rows
+// [lo+min, hi+max), clamped to the array; full means the whole region
+// (reads whose rows do not follow the slice).
+type readSpan struct {
+	slot     int
+	min, max int
+	full     bool
+}
+
+// spfPlan is one nest lowered for the fork-join runtime.
+type spfPlan struct {
+	step     *Step
+	en       *execNest
+	loop     int // registered subroutine index (parallel nests)
+	reads    []readSpan
+	writes   []int // written slots, declaration order
+	redSlots []int // scalar slots the nest reduces into
+}
+
+// lowerUses computes the declaration-order read spans, write slots and
+// reduction slots of a step (shared by both backends).
+func lowerUses(p *Program, st *Step) (reads []readSpan, writes, redSlots []int) {
+	idx := p.arrayIndex()
+	for slot, a := range p.Arrays {
+		u := st.Info.Uses[a.Name]
+		if u == nil {
+			continue
+		}
+		if u.Read {
+			rr := st.ReadRange[a.Name]
+			reads = append(reads, readSpan{
+				slot: idx[a.Name], min: rr[0], max: rr[1],
+				full: st.FullRead[a.Name],
+			})
+		}
+		if u.Written {
+			writes = append(writes, slot)
+		}
+	}
+	sidx := p.scalarIndex()
+	for _, s := range st.Info.Reduces {
+		slot := sidx[s.ReduceInto]
+		seen := false
+		for _, have := range redSlots {
+			if have == slot {
+				seen = true
+			}
+		}
+		if !seen {
+			redSlots = append(redSlots, slot)
+		}
+	}
+	return reads, writes, redSlots
+}
+
+// RunSPF compiles the program for the SPF fork-join DSM runtime and
+// measures it under the standard protocol (warm-up exclusion, timed
+// region) — the "spf-gen" application version. The lowering is exactly
+// what the mechanical compiler model of package spf prescribes: every
+// array touched by a parallel loop lives in shared memory, every
+// parallel nest is an encapsulated subroutine dispatched with
+// ParallelDo under BLOCK scheduling, scalar reductions go through
+// lock-protected shared slots, and serial nests run on the master.
+func RunSPF(app string, v core.Version, cfg core.Config, p *Program) (core.Result, error) {
+	steps, err := Plan(p)
+	if err != nil {
+		return core.Result{}, err
+	}
+	n := cfg.N1
+	return apputil.RunSPF(app, v, cfg, spf.Options{}, func(rt *spf.Runtime) apputil.SPFProgram {
+		tm := rt.Tmk()
+		regs := make([]*tmk.Region[float32], len(p.Arrays))
+		for k, a := range p.Arrays {
+			regs[k] = tmk.Alloc[float32](tm, a.Name, n*n)
+		}
+		reds := make([]*spf.Reduction, len(p.Scalars))
+		idents := make([]float64, len(p.Scalars))
+		for k, name := range p.Scalars {
+			op := scalarOp(p, k)
+			reds[k] = spf.NewReduction(rt, name, func(a, b float64) float64 { return combine(op, a, b) })
+			idents[k] = identity(p, k)
+		}
+		fr := &frame{n: n, arr: make([][]float32, len(p.Arrays)), scal: make([]float64, len(p.Scalars))}
+
+		// bind validates a slice's pages (reads first, then writes, in
+		// declaration order — the order a hand coder writes) and points
+		// the frame at the region backing.
+		bind := func(pl *spfPlan, lo, hi int) {
+			for _, rs := range pl.reads {
+				if rs.full {
+					fr.arr[rs.slot] = regs[rs.slot].Read(0, n*n)
+					continue
+				}
+				fr.arr[rs.slot] = regs[rs.slot].Read(clampRow(lo+rs.min, n)*n, clampRow(hi+rs.max, n)*n)
+			}
+			for _, slot := range pl.writes {
+				fr.arr[slot] = regs[slot].Write(lo*n, hi*n)
+			}
+		}
+
+		plans := make([]*spfPlan, len(steps))
+		for k, st := range steps {
+			pl := &spfPlan{step: st, en: compileNest(p, st.Info.Nest), loop: -1}
+			pl.reads, pl.writes, pl.redSlots = lowerUses(p, st)
+			plans[k] = pl
+			if !st.Parallel {
+				continue
+			}
+			pl.loop = rt.RegisterLoop(func(lo, hi, stride int, args []int64) {
+				if lo >= hi {
+					return
+				}
+				bind(pl, lo, hi)
+				for _, slot := range pl.redSlots {
+					fr.scal[slot] = idents[slot]
+				}
+				cnt := pl.en.runRows(fr, lo, hi)
+				rt.Advance(apputil.Cost(cnt, pl.en.nst.PointCost))
+				for _, slot := range pl.redSlots {
+					reds[slot].Combine(rt, fr.scal[slot])
+				}
+			})
+		}
+
+		if rt.IsMaster() {
+			for k, a := range p.Arrays {
+				if a.Init == nil {
+					continue
+				}
+				w := regs[k].Write(0, n*n)
+				fillInit(w[:n*n], a.Init, n)
+			}
+		}
+
+		resSlot := p.arrayIndex()[p.Result]
+		return apputil.SPFProgram{
+			IterateMaster: func(it int) {
+				for k := range reds {
+					reds[k].Reset(idents[k])
+				}
+				for _, pl := range plans {
+					nst := pl.en.nst
+					if pl.step.Parallel {
+						rt.ParallelDo(pl.loop, nst.Row.Lo.Eval(n), nst.Row.Hi.Eval(n), spf.Block)
+						continue
+					}
+					// Serial nest: the master runs the sequential code, as
+					// the fork-join model prescribes.
+					for _, rs := range pl.reads {
+						fr.arr[rs.slot] = regs[rs.slot].Read(0, n*n)
+					}
+					for _, slot := range pl.writes {
+						fr.arr[slot] = regs[slot].Write(0, n*n)
+					}
+					for _, slot := range pl.redSlots {
+						fr.scal[slot] = idents[slot]
+					}
+					cnt := pl.en.runRows(fr, nst.Row.Lo.Eval(n), nst.Row.Hi.Eval(n))
+					rt.Advance(apputil.Cost(cnt, nst.PointCost))
+					for _, slot := range pl.redSlots {
+						reds[slot].Combine(rt, fr.scal[slot])
+					}
+				}
+			},
+			Checksum: func() float64 {
+				g := regs[resSlot].Read(0, n*n)
+				finals := make([]float64, len(reds))
+				for k := range reds {
+					finals[k] = reds[k].Value()
+				}
+				return checksum(p, g, n, finals)
+			},
+		}
+	})
+}

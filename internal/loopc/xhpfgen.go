@@ -1,0 +1,133 @@
+package loopc
+
+import (
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/pvm"
+	"repro/internal/xhpf"
+)
+
+// xhpfPlan is one nest lowered for the SPMD message-passing runtime.
+type xhpfPlan struct {
+	step     *Step
+	en       *execNest
+	redSlots []int
+}
+
+// RunXHPF compiles the program for the XHPF message-passing runtime —
+// the "xhpf-gen" application version. The lowering follows the
+// compiler model of package xhpf: replicated arrays with BLOCK
+// owner-computes distribution of each parallel loop, exact-section halo
+// exchanges whose widths come from the dependence distances, runtime
+// synchronization (LoopSync) at every parallel-loop boundary,
+// recognized reductions as all-reduces so the replicated sequential
+// code has the result everywhere, and whole-partition broadcasts ahead
+// of serial (replicated) nests that read distributed data.
+func RunXHPF(app string, v core.Version, cfg core.Config, p *Program) (core.Result, error) {
+	steps, err := Plan(p)
+	if err != nil {
+		return core.Result{}, err
+	}
+	n := cfg.N1
+	return apputil.RunXHPF(app, v, cfg, func(x *xhpf.XHPF) apputil.XHPFProgram {
+		arrays := make([][]float32, len(p.Arrays))
+		for k, a := range p.Arrays {
+			arrays[k] = make([]float32, n*n)
+			if a.Init != nil {
+				fillInit(arrays[k], a.Init, n)
+			}
+		}
+		fr := &frame{n: n, arr: arrays, scal: make([]float64, len(p.Scalars))}
+		idents := make([]float64, len(p.Scalars))
+		ops := make([]ReduceOp, len(p.Scalars))
+		for k := range p.Scalars {
+			idents[k] = identity(p, k)
+			ops[k] = scalarOp(p, k)
+		}
+		// BLOCK distribution over whole rows. When the flat element
+		// blocks of the hand-coded convention are row-aligned (every
+		// hand-vs-generated comparison configuration), this is the same
+		// decomposition and the communication is byte-identical; unlike
+		// the flat blocks it stays correct when rows do not divide
+		// evenly across processors.
+		rowBlock := func(q int) (lo, hi int) {
+			qlo, qhi := xhpf.BlockOf(q, x.NProcs(), n)
+			return qlo * n, qhi * n
+		}
+		rlo, rhi := xhpf.BlockOf(x.ID(), x.NProcs(), n)
+		arrIdx := p.arrayIndex()
+
+		plans := make([]*xhpfPlan, len(steps))
+		for k, st := range steps {
+			pl := &xhpfPlan{step: st, en: compileNest(p, st.Info.Nest)}
+			_, _, pl.redSlots = lowerUses(p, st)
+			plans[k] = pl
+		}
+
+		resSlot := arrIdx[p.Result]
+		return apputil.XHPFProgram{
+			Iterate: func(it int) {
+				copy(fr.scal, idents)
+				for _, pl := range plans {
+					nst := pl.en.nst
+					rowLo, rowHi := nst.Row.Lo.Eval(n), nst.Row.Hi.Eval(n)
+					if pl.step.Parallel {
+						for _, h := range pl.step.Halo {
+							xhpf.ExchangeHaloBlocks(x, arrays[arrIdx[h.Array]], n*n, h.Width*n, rowBlock)
+						}
+						// Owner-computes intersection of the owned rows with
+						// the nest's iteration space.
+						clo, chi := max(rlo, rowLo), min(rhi, rowHi)
+						bases := make([]float64, len(pl.redSlots))
+						for bi, slot := range pl.redSlots {
+							bases[bi] = fr.scal[slot]
+							fr.scal[slot] = idents[slot]
+						}
+						if chi > clo {
+							cnt := pl.en.runRows(fr, clo, chi)
+							x.Advance(apputil.Cost(cnt, nst.PointCost))
+						}
+						for bi, slot := range pl.redSlots {
+							op := ops[slot]
+							folded := xhpf.AllReduceWith(x, []float64{fr.scal[slot]},
+								func(a, b float64) float64 { return combine(op, a, b) })
+							fr.scal[slot] = combine(op, bases[bi], folded[0])
+						}
+						x.LoopSync()
+						continue
+					}
+					// Serial nest: replicated execution after making the
+					// replicated copies current.
+					for _, name := range pl.step.Bcast {
+						xhpf.BroadcastBlocks(x, arrays[arrIdx[name]], rowBlock, 4)
+					}
+					cnt := pl.en.runRows(fr, rowLo, rowHi)
+					x.Advance(apputil.Cost(cnt, nst.PointCost))
+					x.LoopSync()
+				}
+			},
+			Checksum: func() float64 {
+				res := arrays[resSlot]
+				gatherBlocks(x.PVM(), res, rowBlock)
+				if x.ID() != 0 {
+					return 0
+				}
+				return checksum(p, res, n, fr.scal)
+			},
+		}
+	})
+}
+
+// gatherBlocks collects every task's owned block on task 0, untracked
+// (measurement postlude, as the hand-coded versions do it).
+func gatherBlocks(pv *pvm.PVM, data []float32, blockOf func(q int) (lo, hi int)) {
+	if pv.ID() == 0 {
+		for q := 1; q < pv.NProcs(); q++ {
+			qlo, qhi := blockOf(q)
+			pvm.RecvUntracked(pv, q, 90+q, data[qlo:qhi])
+		}
+		return
+	}
+	lo, hi := blockOf(pv.ID())
+	pvm.SendUntracked(pv, 0, 90+pv.ID(), data[lo:hi])
+}

@@ -151,6 +151,7 @@ type AppCosts struct {
 	IGridReduce   sim.Time // per element of the final max/min/sum
 	NBFPair       sim.Time // per partner interaction
 	NBFUpdate     sim.Time // per molecule coordinate/force update
+	SORUpdate     sim.Time // red-black SOR 5-point relaxation, per point
 }
 
 // DefaultAppCosts returns the Table 1 calibration.
@@ -168,5 +169,6 @@ func DefaultAppCosts() AppCosts {
 		IGridReduce:   120,
 		NBFPair:       1030,
 		NBFUpdate:     220,
+		SORUpdate:     150,
 	}
 }

@@ -191,25 +191,44 @@ func BroadcastGather[T pvm.Scalar](x *XHPF, parts [][]T) {
 // upper neighbor respectively, filling this processor's halo copies.
 // Column-distributed 2-D arrays pass width = column height.
 func ExchangeHalo[T pvm.Scalar](x *XHPF, arr []T, extent, width int) {
+	ExchangeHaloBlocks(x, arr, extent, width, func(q int) (int, int) {
+		return BlockOf(q, x.n, extent)
+	})
+}
+
+// ExchangeHaloBlocks is ExchangeHalo with a caller-supplied contiguous
+// block decomposition (lo, hi per processor, covering [0, extent) with
+// any empty blocks trailing): the owned block's first and last `width`
+// elements go to the lower and upper neighbor. The compiler back end
+// (internal/loopc) uses it with whole-row blocks; when those coincide
+// with the flat element blocks of ExchangeHalo, the messages are
+// byte-identical.
+func ExchangeHaloBlocks[T pvm.Scalar](x *XHPF, arr []T, extent, width int, blockOf func(q int) (lo, hi int)) {
 	x.seq += 2
 	tag := 1<<13 + x.seq
-	lo, hi := x.Block(extent)
+	me := x.ID()
+	lo, hi := blockOf(me)
 	if lo >= hi {
 		return
 	}
-	me := x.ID()
-	if me > 0 {
+	nonempty := func(q int) bool {
+		qlo, qhi := blockOf(q)
+		return qhi > qlo
+	}
+	down := me > 0 && nonempty(me-1)
+	up := me < x.n-1 && nonempty(me+1)
+	if down {
 		x.chargeSection((min(lo+width, hi) - lo) * 4)
 		pvm.Send(x.pv, me-1, tag, arr[lo:min(lo+width, hi)])
 	}
-	if me < x.n-1 {
+	if up {
 		x.chargeSection((hi - max(hi-width, lo)) * 4)
 		pvm.Send(x.pv, me+1, tag, arr[max(hi-width, lo):hi])
 	}
-	if me > 0 {
+	if down {
 		pvm.Recv(x.pv, me-1, tag, arr[max(lo-width, 0):lo])
 	}
-	if me < x.n-1 {
+	if up {
 		pvm.Recv(x.pv, me+1, tag, arr[hi:min(hi+width, extent)])
 	}
 }

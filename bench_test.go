@@ -235,6 +235,44 @@ func BenchmarkProtocolComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkContention sweeps the network-contention model at 8 nodes:
+// each application/runtime pair runs on the ideal infinite-capacity
+// interconnect, with serial NICs, and with the backplane bounded to one
+// full-rate transfer. The irregular applications' XHPF broadcast storms
+// accumulate queueing delay (queue-ms) super-linearly in node count,
+// while Jacobi's pairwise halo exchanges barely queue — the contention
+// experiment's headline, as a benchmark.
+func BenchmarkContention(b *testing.B) {
+	sweep := []struct {
+		name string
+		ways int
+	}{{"ideal", 0}, {"nic", -1}, {"nic+bp1", 1}}
+	for _, name := range []string{"Jacobi", "IGrid", "NBF"} {
+		a, err := harness.AppByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range []core.Version{core.Tmk, core.XHPF, core.PVMe} {
+			for _, sw := range sweep {
+				b.Run(fmt.Sprintf("%s/%s/%s", name, v, sw.name), func(b *testing.B) {
+					r := harness.NewRunner(benchProcs, benchScale())
+					var res core.Result
+					var err error
+					for i := 0; i < b.N; i++ {
+						res, err = r.ContentionRun(a, v, benchProcs, r.Protocol, sw.ways)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(res.Time.Seconds()*1e3, "vtime-ms")
+					b.ReportMetric(res.QueueTime().Seconds()*1e3, "queue-ms")
+					b.ReportMetric(float64(res.Stats.TotalQueuedMsgs()), "queued-msgs")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkModelSensitivity re-runs Jacobi's four versions under halved
 // and doubled interconnect latency, demonstrating that the version
 // ranking (the paper's shape) is insensitive to the calibration.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dsmrun -app Jacobi -version tmk [-procs 8] [-scale mid] [-protocol lrc|hlrc] [-json]
+//	dsmrun -app Jacobi -version tmk [-procs 8] [-scale mid] [-protocol lrc|hlrc] [-contention N] [-json]
 //
 // Versions: seq, spf, tmk, xhpf, pvme, spf-opt, tmk-opt, spf-old,
 // spf-gen, xhpf-gen (availability varies by application; see -list).
@@ -14,8 +14,16 @@
 // xhpf-gen versions are compiled from the kernel's loop-nest IR by the
 // internal/loopc front end instead of being hand-written.
 //
+// -contention enables the network-contention model: N > 0 serializes
+// each node's NIC and bounds the switch backplane to N concurrent
+// full-rate transfers, -1 serializes the NICs over an ideal backplane,
+// 0 (default) keeps the infinite-capacity interconnect. Contended runs
+// additionally report the queueing delay messages spent waiting for
+// busy links.
+//
 // With -json the result is emitted as a single JSON object (time,
-// speedup, messages, bytes, checksum) for scripted benchmarking.
+// speedup, messages, bytes, checksum, queueing delay) for scripted
+// benchmarking.
 package main
 
 import (
@@ -31,17 +39,20 @@ import (
 
 // jsonResult is the machine-readable run record emitted by -json.
 type jsonResult struct {
-	App         string  `json:"app"`
-	Version     string  `json:"version"`
-	Procs       int     `json:"procs"`
-	Scale       string  `json:"scale"`
-	Protocol    string  `json:"protocol,omitempty"`
-	TimeSeconds float64 `json:"time_seconds"`
-	Msgs        int64   `json:"msgs"`
-	Bytes       int64   `json:"bytes"`
-	Checksum    float64 `json:"checksum"`
-	SeqSeconds  float64 `json:"seq_seconds,omitempty"`
-	Speedup     float64 `json:"speedup,omitempty"`
+	App          string  `json:"app"`
+	Version      string  `json:"version"`
+	Procs        int     `json:"procs"`
+	Scale        string  `json:"scale"`
+	Protocol     string  `json:"protocol,omitempty"`
+	Contention   int     `json:"contention,omitempty"`
+	TimeSeconds  float64 `json:"time_seconds"`
+	Msgs         int64   `json:"msgs"`
+	Bytes        int64   `json:"bytes"`
+	Checksum     float64 `json:"checksum"`
+	QueueSeconds float64 `json:"queue_seconds,omitempty"`
+	QueuedMsgs   int64   `json:"queued_msgs,omitempty"`
+	SeqSeconds   float64 `json:"seq_seconds,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
 }
 
 func main() {
@@ -50,6 +61,7 @@ func main() {
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	scale := flag.String("scale", "mid", "problem scale: paper, mid, or small")
 	protocol := flag.String("protocol", "", "DSM coherence protocol: lrc (default) or hlrc")
+	contention := flag.Int("contention", 0, "network contention: 0 off, -1 serial NICs only, N>0 serial NICs + N-way backplane")
 	asJSON := flag.Bool("json", false, "emit the run result as one JSON object")
 	list := flag.Bool("list", false, "list applications and versions")
 	flag.Parse()
@@ -76,6 +88,11 @@ func main() {
 	}
 	r := harness.NewRunner(*procs, harness.Scale(*scale))
 	r.Protocol = pname
+	if *contention < -1 {
+		fmt.Fprintf(os.Stderr, "dsmrun: invalid -contention %d (want 0, -1, or a positive backplane bound)\n", *contention)
+		os.Exit(2)
+	}
+	r.Costs = r.Costs.WithContention(*contention)
 	res, err := r.Run(a, core.Version(*version))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -93,10 +110,13 @@ func main() {
 		out := jsonResult{
 			App: res.App, Version: string(res.Version), Procs: res.Procs,
 			Scale: *scale, Protocol: string(res.Protocol),
-			TimeSeconds: res.Time.Seconds(),
-			Msgs:        res.Stats.TotalMsgs(),
-			Bytes:       res.Stats.TotalBytes(),
-			Checksum:    res.Checksum,
+			Contention:   *contention,
+			TimeSeconds:  res.Time.Seconds(),
+			Msgs:         res.Stats.TotalMsgs(),
+			Bytes:        res.Stats.TotalBytes(),
+			Checksum:     res.Checksum,
+			QueueSeconds: res.QueueTime().Seconds(),
+			QueuedMsgs:   res.Stats.TotalQueuedMsgs(),
 		}
 		if haveSeq {
 			out.SeqSeconds = seq.Time.Seconds()
@@ -120,6 +140,9 @@ func main() {
 	fmt.Printf("data      = %d KB\n", res.Stats.TotalKB())
 	fmt.Printf("checksum  = %g\n", res.Checksum)
 	fmt.Printf("breakdown = %s\n", res.Stats.String())
+	if *contention != 0 {
+		fmt.Printf("queueing  = %v over %d delayed messages\n", res.QueueTime(), res.Stats.TotalQueuedMsgs())
+	}
 	if res.FaultTime+res.SyncTime+res.WriteTime > 0 {
 		fmt.Printf("overheads = fault %v, sync %v, write-detect %v (summed over %d procs)\n",
 			res.FaultTime, res.SyncTime, res.WriteTime, res.Procs)

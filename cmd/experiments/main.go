@@ -14,6 +14,14 @@
 // other experiments run under (default: lrc, the paper's). The compiler
 // experiment (-only compiler) runs the internal/loopc-generated
 // spf-gen/xhpf-gen versions next to their hand-coded counterparts.
+//
+// The contention experiment (-only contention) sweeps the serial-NIC /
+// backplane contention model at 1-8 nodes for Jacobi, IGrid and NBF
+// under both protocols and all three runtimes. Independently,
+// -contention N makes *every* experiment run on the contended SP/2:
+// N > 0 bounds the backplane to N concurrent full-rate transfers,
+// N = -1 serializes the NICs over an ideal backplane, 0 (default) keeps
+// the infinite-capacity interconnect.
 package main
 
 import (
@@ -30,7 +38,8 @@ func main() {
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	scale := flag.String("scale", "paper", "problem scale: paper, mid, or small")
 	protocol := flag.String("protocol", "", "DSM coherence protocol: lrc (default) or hlrc")
-	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler)")
+	contention := flag.Int("contention", 0, "network contention: 0 off, -1 serial NICs only, N>0 serial NICs + N-way backplane")
+	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler,contention)")
 	flag.Parse()
 
 	pname, err := proto.Parse(*protocol)
@@ -40,6 +49,11 @@ func main() {
 	}
 	r := harness.NewRunner(*procs, harness.Scale(*scale))
 	r.Protocol = pname
+	if *contention < -1 {
+		fmt.Fprintf(os.Stderr, "experiments: invalid -contention %d (want 0, -1, or a positive backplane bound)\n", *contention)
+		os.Exit(2)
+	}
+	r.Costs = r.Costs.WithContention(*contention)
 	run := func(name string, f func(w *os.File, r *harness.Runner) error) {
 		if err := f(os.Stdout, r); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
@@ -58,8 +72,9 @@ func main() {
 		"scalability": func(w *os.File, r *harness.Runner) error {
 			return harness.Scalability(w, r, "Jacobi", []int{2, 4, 8})
 		},
-		"protocols": func(w *os.File, r *harness.Runner) error { return harness.Protocols(w, r) },
-		"compiler":  func(w *os.File, r *harness.Runner) error { return harness.Compiler(w, r) },
+		"protocols":  func(w *os.File, r *harness.Runner) error { return harness.Protocols(w, r) },
+		"compiler":   func(w *os.File, r *harness.Runner) error { return harness.Compiler(w, r) },
+		"contention": func(w *os.File, r *harness.Runner) error { return harness.Contention(w, r) },
 	}
 	order := []string{"table1", "figure1", "table2", "figure2", "table3", "handopt", "interface"}
 	want := order
@@ -69,7 +84,7 @@ func main() {
 	for _, name := range want {
 		f, ok := table[strings.TrimSpace(name)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability, protocols, compiler)\n", name, strings.Join(order, ", "))
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability, protocols, compiler, contention)\n", name, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		run(name, f)

@@ -161,3 +161,27 @@ func blockRows(q, p, n int) (int, int) {
 }
 
 var _ = stats.KindData
+
+// TestXHPFTinyTailChunkGeometry pins the geometry that exposed the
+// chunk-overtaking bug: at N1=500 on 4 processors each broadcast block
+// is 62500 elements — 61 full 4 KB chunks plus a 36-element tail whose
+// pack+overhead time undercuts a full chunk's wire time, so without
+// per-chunk tags the tail overtook its predecessor and scrambled every
+// block. The xhpf checksum must match sequential bitwise here.
+func TestXHPFTinyTailChunkGeometry(t *testing.T) {
+	cfg := core.Config{Procs: 1, N1: 500, Iters: 1, Warmup: 1,
+		Costs: model.SP2(), App: model.DefaultAppCosts()}
+	seq, err := New().Run(core.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Procs = 4
+	r, err := New().Run(core.XHPF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Checksum != seq.Checksum {
+		t.Errorf("xhpf checksum = %v, want %v (bitwise; tail chunk overtook a full chunk?)",
+			r.Checksum, seq.Checksum)
+	}
+}

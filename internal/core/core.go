@@ -68,8 +68,11 @@ type Config struct {
 	N3     int
 	Iters  int // timed iterations
 	Warmup int // untimed leading iterations (paper: 1)
-	Costs  model.Costs
-	App    model.AppCosts
+	// Costs carries the interconnect and protocol cost model, including
+	// the network-contention knobs (SerialNIC, BackplaneWays) that every
+	// runtime threads through to the simulator.
+	Costs model.Costs
+	App   model.AppCosts
 
 	// Protocol selects the DSM coherence protocol for the TreadMarks
 	// based versions (empty: the homeless TreadMarks LRC). Message
@@ -92,6 +95,11 @@ type Result struct {
 	// detection — the decomposition of the paper's §5/§6 analysis.
 	FaultTime, SyncTime, WriteTime sim.Time
 }
+
+// QueueTime returns the contention queueing delay accumulated over the
+// timed region, summed over nodes. Zero when the run's cost model left
+// contention off (Config.Costs.SerialNIC / BackplaneWays unset).
+func (r Result) QueueTime() sim.Time { return sim.Time(r.Stats.TotalQueueNanos()) }
 
 // Speedup computes seqTime / r.Time.
 func (r Result) Speedup(seqTime sim.Time) float64 {
@@ -189,15 +197,12 @@ func (r *Region) Elapsed() sim.Time {
 	return hi - lo
 }
 
-// Traffic returns the messages and bytes recorded during the timed
-// region.
+// Traffic returns the messages, bytes and contention queueing delay
+// recorded during the timed region.
 func (r *Region) Traffic() stats.Stats {
 	out := r.last
 	if r.haveBase {
-		for k := stats.Kind(0); int(k) < stats.NumKinds(); k++ {
-			out.Msgs[k] -= r.base.Msgs[k]
-			out.Bytes[k] -= r.base.Bytes[k]
-		}
+		out.Sub(&r.base)
 	}
 	return out
 }

@@ -32,6 +32,16 @@ type Costs struct {
 	RecvOverhead sim.Time // per-message receiver CPU cost
 	HeaderBytes  int      // per-message envelope
 
+	// Contention (zero values: the infinite-capacity interconnect all
+	// pre-contention experiments ran on). SerialNIC gives each node one
+	// outgoing and one incoming link that transmit messages
+	// back-to-back, FIFO per link, so concurrent sends through one
+	// adapter queue instead of overlapping. BackplaneWays, when
+	// positive, bounds the switch backplane to that many concurrent
+	// full-rate transfers. See internal/sim's contention model.
+	SerialNIC     bool
+	BackplaneWays int
+
 	// Message-passing library (PVMe/XHPF) data handling: packing data
 	// into and out of transmit buffers costs CPU per byte. PVM-family
 	// libraries were notorious for this; it is what keeps the large
@@ -90,17 +100,49 @@ func SP2() Costs {
 	}
 }
 
-// SimConfig renders the interconnect part of the cost model as a
-// simulator configuration for n processes.
-func (c Costs) SimConfig(procs int) sim.Config {
-	return sim.Config{
-		Procs:        procs,
-		Latency:      c.Latency,
-		NanosPerByte: c.NanosPerByte,
-		SendOverhead: c.SendOverhead,
-		RecvOverhead: c.RecvOverhead,
-		HeaderBytes:  c.HeaderBytes,
+// WithContention applies the shared contention encoding to an existing
+// calibration: 0 turns contention off, -1 serializes the NICs over an
+// ideal backplane (the SP/2's micro-channel adapters without a switch
+// bound), and N > 0 additionally bounds the backplane to N concurrent
+// full-rate transfers. The paper attributes XHPF's collapse on the
+// irregular applications to exactly the broadcast/gather storms the
+// contended calibration makes expensive. Both CLIs' -contention flags
+// and the harness sweep use this one encoding; other negative values
+// are invalid (the CLIs reject them).
+func (c Costs) WithContention(ways int) Costs {
+	c.SerialNIC = ways != 0
+	c.BackplaneWays = 0
+	if ways > 0 {
+		c.BackplaneWays = ways
 	}
+	return c
+}
+
+// SimConfig renders the interconnect part of the cost model as a
+// simulator configuration for n processes, each on its own node.
+func (c Costs) SimConfig(procs int) sim.Config {
+	return c.SimConfigNodes(procs, procs)
+}
+
+// SimConfigNodes renders the interconnect model for procs simulated
+// processes belonging to nodes physical nodes. Runtimes that pair an
+// application process with a request-server process per node (the
+// TreadMarks systems) pass procs = 2*nodes so both share the node's
+// NIC under the contention model.
+func (c Costs) SimConfigNodes(procs, nodes int) sim.Config {
+	cfg := sim.Config{
+		Procs:         procs,
+		Latency:       c.Latency,
+		NanosPerByte:  c.NanosPerByte,
+		SendOverhead:  c.SendOverhead,
+		RecvOverhead:  c.RecvOverhead,
+		HeaderBytes:   c.HeaderBytes,
+		BackplaneWays: c.BackplaneWays,
+	}
+	if c.SerialNIC {
+		cfg.Nodes = nodes
+	}
+	return cfg
 }
 
 // PackCost returns the sender-side CPU time to pack n bytes for

@@ -26,6 +26,13 @@ const (
 	runBytes         = 8
 )
 
+// maxDecodePages bounds the total number of pages one DecodeBatches
+// call will materialize (a 4 MB page list). Legitimate notice batches
+// are orders of magnitude smaller; without the bound a corrupt 24-byte
+// record claiming a 2^31-page run would amplify into a gigabyte
+// allocation.
+const maxDecodePages = 1 << 20
+
 // EncodeBatches serializes notice batches into the RLE wire format.
 func EncodeBatches(bs []NoticeBatch) []byte {
 	out := make([]byte, 0, BatchBytes(bs))
@@ -59,6 +66,7 @@ func EncodeBatches(bs []NoticeBatch) []byte {
 func DecodeBatches(buf []byte) ([]NoticeBatch, error) {
 	var out []NoticeBatch
 	off := 0
+	var pages int64
 	get := func() int32 {
 		v := int32(binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
@@ -84,8 +92,12 @@ func DecodeBatches(buf []byte) ([]NoticeBatch, error) {
 			if count <= 0 {
 				return nil, fmt.Errorf("proto: bad run length %d at byte %d", count, off-4)
 			}
-			for pg := first; pg < first+count; pg++ {
-				iv.Pages = append(iv.Pages, pg)
+			pages += int64(count)
+			if pages > maxDecodePages {
+				return nil, fmt.Errorf("proto: implausible page total %d at byte %d", pages, off-4)
+			}
+			for k := int32(0); k < count; k++ {
+				iv.Pages = append(iv.Pages, first+k)
 			}
 		}
 		if len(out) == 0 || out[len(out)-1].Proc != proc {

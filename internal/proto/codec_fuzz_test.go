@@ -1,0 +1,88 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzCodecRoundTrip fuzzes the RLE write-notice wire format from the
+// byte side. Any input DecodeBatches accepts must re-encode to a
+// canonical form that (a) matches the BatchBytes size model, (b) never
+// grows past the input (canonicalization only merges abutting runs),
+// and (c) decodes back to the identical batch list. Rejected inputs
+// just return — the decoder's error paths (truncation, bad reserved
+// words, non-positive or implausible run lengths) are themselves what
+// the fuzzer explores. A regression corpus of the interesting shapes
+// lives in testdata/fuzz/FuzzCodecRoundTrip.
+func FuzzCodecRoundTrip(f *testing.F) {
+	// Structured seeds: the shapes real protocol traffic produces.
+	for _, bs := range [][]NoticeBatch{
+		nil,
+		{{Proc: 2, Intervals: []IntervalRec{{Interval: 7, Pages: []int32{42}}}}},
+		{{Proc: 0, Intervals: []IntervalRec{{Interval: 1, Pages: []int32{10, 11, 12, 13}}}}},
+		{{Proc: 1, Intervals: []IntervalRec{{Interval: 3, Pages: []int32{5, 3, 9, 10, 2}}}}},
+		{
+			{Proc: 0, Intervals: []IntervalRec{
+				{Interval: 1, Pages: []int32{0, 1}},
+				{Interval: 2, Pages: []int32{1}},
+			}},
+			{Proc: 3, Intervals: []IntervalRec{{Interval: 9, Pages: []int32{100, 101, 102, 200}}}},
+		},
+	} {
+		f.Add(EncodeBatches(bs))
+	}
+	// Byte-level seeds the encoder never emits: an interval with no
+	// runs, two abutting runs (canonicalization must merge them), a
+	// truncated header, and a run claiming 2^31-1 pages.
+	f.Add([]byte("\x02\x00\x00\x00\x05\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("\x00\x00\x00\x00\x01\x00\x00\x00\x02\x00\x00\x00\x00\x00\x00\x00" +
+		"\x03\x00\x00\x00\x02\x00\x00\x00\x05\x00\x00\x00\x01\x00\x00\x00"))
+	f.Add([]byte("\x01\x00\x00\x00\x02\x00\x00"))
+	f.Add([]byte("\x00\x00\x00\x00\x01\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00" +
+		"\x00\x00\x00\x00\xff\xff\xff\x7f"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bs, err := DecodeBatches(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeBatches(bs)
+		if got, want := len(enc), BatchBytes(bs); got != want {
+			t.Fatalf("encoded %d bytes, BatchBytes models %d (batches %+v)", got, want, bs)
+		}
+		if len(enc) > len(data) {
+			t.Fatalf("canonical encoding grew: %d bytes from %d input bytes", len(enc), len(data))
+		}
+		bs2, err := DecodeBatches(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v (batches %+v)", err, bs)
+		}
+		if len(bs) == 0 && len(bs2) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(bs, bs2) {
+			t.Fatalf("round trip diverged:\n got %+v\nwant %+v", bs2, bs)
+		}
+	})
+}
+
+// TestDecodeRejectsImplausibleRunLength pins the decoder's allocation
+// bound: a single run claiming more pages than maxDecodePages is an
+// error, not a multi-gigabyte allocation.
+func TestDecodeRejectsImplausibleRunLength(t *testing.T) {
+	buf := []byte("\x00\x00\x00\x00\x01\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00" +
+		"\x00\x00\x00\x00\xff\xff\xff\x7f")
+	if _, err := DecodeBatches(buf); err == nil {
+		t.Fatal("2^31-1 page run accepted")
+	}
+	// Across records, too: many maximal runs must trip the same bound.
+	rec := []byte("\x00\x00\x00\x00\x01\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00" +
+		"\x00\x00\x00\x00\x00\x00\x10\x00") // one run of 2^20 pages
+	if _, err := DecodeBatches(rec); err != nil {
+		t.Fatalf("exactly maxDecodePages rejected: %v", err)
+	}
+	two := append(append([]byte(nil), rec...), rec...)
+	if _, err := DecodeBatches(two); err == nil {
+		t.Fatal("2*maxDecodePages across records accepted")
+	}
+}

@@ -139,18 +139,38 @@ func Exchange[T Scalar](pv *PVM, partner, tag int, send, recv []T) {
 	Recv(pv, partner, tag, recv)
 }
 
+// gatherContribs receives one contribution from every other task,
+// charging the same per-message unpack costs as Recv, and returns them
+// indexed by sender. Reductions fold the gathered contributions in
+// task order, never in arrival order — the repo-wide reduction rule
+// (DESIGN.md): virtual-time perturbations such as network contention
+// legitimately reorder arrivals, and a floating-point sum's association
+// must not depend on them. Contributions are truncated to width.
+func gatherContribs[T Scalar](pv *PVM, tag, width int) [][]T {
+	out := make([][]T, pv.sys.nprocs)
+	for i := 0; i < pv.sys.nprocs-1; i++ {
+		m := pv.p.Recv(sim.AnySrc, tagBase+tag)
+		vals := m.Payload.([]T)
+		if len(vals) > width {
+			vals = vals[:width]
+		}
+		pv.p.Advance(pv.sys.costs.UnpackCost(len(vals) * sizeOf[T]()))
+		out[m.Src] = vals
+	}
+	return out
+}
+
 // ReduceSum performs a sum reduction of vals to root (every non-root
-// task sends its contribution; root accumulates), then returns the
-// result on root. Non-root tasks return their own contribution.
+// task sends its contribution; root accumulates in task order), then
+// returns the result on root. Non-root tasks return their own
+// contribution.
 func ReduceSum[T Scalar](pv *PVM, root, tag int, vals []T) []T {
 	out := make([]T, len(vals))
 	copy(out, vals)
 	if pv.ID() == root {
-		tmp := make([]T, len(vals))
-		for i := 0; i < pv.sys.nprocs-1; i++ {
-			n := Recv(pv, AnySrc, tag, tmp)
-			for k := 0; k < n; k++ {
-				out[k] += tmp[k]
+		for _, c := range gatherContribs[T](pv, tag, len(out)) {
+			for k := range c {
+				out[k] += c[k]
 			}
 		}
 		return out
@@ -167,16 +187,15 @@ func AllReduceSum[T Scalar](pv *PVM, tag int, vals []T) []T {
 }
 
 // Reduce folds every task's contribution into root element-wise with op
-// (max, min, ...). Concurrent reductions must use distinct tags.
+// (max, min, ...), in task order. Concurrent reductions must use
+// distinct tags.
 func Reduce[T Scalar](pv *PVM, root, tag int, vals []T, op func(a, b T) T) []T {
 	out := make([]T, len(vals))
 	copy(out, vals)
 	if pv.ID() == root {
-		tmp := make([]T, len(vals))
-		for i := 0; i < pv.sys.nprocs-1; i++ {
-			n := Recv(pv, AnySrc, tag, tmp)
-			for k := 0; k < n; k++ {
-				out[k] = op(out[k], tmp[k])
+		for _, c := range gatherContribs[T](pv, tag, len(out)) {
+			for k := range c {
+				out[k] = op(out[k], c[k])
 			}
 		}
 		return out

@@ -23,6 +23,28 @@
 // next-best process. It may keep executing without rescheduling until its
 // clock passes the horizon, which keeps scheduling overhead low without
 // giving up determinism.
+//
+// # Contention
+//
+// By default links are infinite-capacity pipes: every message pays
+// latency + size/bandwidth but concurrent transfers overlap perfectly.
+// Setting Config.Nodes enables the serial-NIC contention model: the
+// cluster's processes belong to Nodes physical nodes (process p lives on
+// node p mod Nodes), and each node has one outgoing and one incoming
+// link. A link transmits messages back-to-back in the order they reach
+// it (FIFO per link), so concurrent sends through one NIC queue behind
+// each other instead of overlapping. Config.BackplaneWays additionally
+// bounds the switch backplane to that many concurrent full-rate
+// transfers. Contention never reorders or drops messages — it only adds
+// queueing delay — so the conservative scheduling argument above is
+// unchanged: delivery times are fixed at send time, and queueing only
+// pushes them later. Sends are processed in nondecreasing send-time
+// order — a sender's clock never exceeds the minimum effective time of
+// the other processes at the moment of a send, because each send
+// tightens the sender's horizon to its own delivery time, the earliest
+// instant the destination could act — so the link-busy bookkeeping is
+// deterministic and FIFO in virtual time. See DESIGN.md, "Network
+// contention".
 package sim
 
 import (
@@ -80,6 +102,7 @@ type Message struct {
 	Kind     stats.Kind // accounting category
 	SendTime Time       // sender clock when the message left
 	Deliver  Time       // arrival time at the destination
+	Queued   Time       // time spent waiting for busy links (contention)
 	seq      uint64     // global sequence number, for deterministic ties
 }
 
@@ -105,6 +128,22 @@ type Config struct {
 	// HeaderBytes is added to every message's payload size for transfer
 	// time and accounting.
 	HeaderBytes int
+
+	// Nodes, when positive, enables the serial-NIC contention model:
+	// the processes belong to Nodes physical nodes (process p on node
+	// p mod Nodes; runtimes that pair an application process with a
+	// request server per node get both mapped to the same node), and
+	// each node's single outgoing and single incoming link transmit
+	// messages back-to-back, FIFO per link. Sends between processes of
+	// the same node are loopback and bypass the NIC. Zero keeps the
+	// original infinite-capacity links, bit-for-bit.
+	Nodes int
+
+	// BackplaneWays, when positive, models the shared switch backplane
+	// as sustaining at most that many concurrent full-rate transfers:
+	// each message occupies the backplane for wireTime/BackplaneWays.
+	// Zero models an ideal non-blocking crossbar.
+	BackplaneWays int
 
 	// Stats receives per-message accounting. Optional.
 	Stats *stats.Stats
@@ -155,6 +194,14 @@ type Cluster struct {
 	yield chan int
 	seq   uint64
 	stats *stats.Stats
+
+	// Contention state (Nodes > 0 or BackplaneWays > 0): the virtual
+	// time at which each node's outgoing/incoming link and the shared
+	// backplane finish their last accepted transfer. Monotone, because
+	// sends are processed in nondecreasing send-time order.
+	outFree []Time
+	inFree  []Time
+	bpFree  Time
 }
 
 // New creates a cluster with the given configuration.
@@ -166,10 +213,17 @@ func New(cfg Config) *Cluster {
 	if st == nil {
 		st = &stats.Stats{}
 	}
+	if cfg.Nodes < 0 || cfg.BackplaneWays < 0 {
+		panic("sim: negative Config.Nodes or Config.BackplaneWays")
+	}
 	c := &Cluster{
 		cfg:   cfg,
 		yield: make(chan int),
 		stats: st,
+	}
+	if cfg.Nodes > 0 {
+		c.outFree = make([]Time, cfg.Nodes)
+		c.inFree = make([]Time, cfg.Nodes)
 	}
 	c.procs = make([]*Proc, cfg.Procs)
 	for i := range c.procs {
@@ -191,10 +245,20 @@ func (c *Cluster) Stats() *stats.Stats { return c.stats }
 func (c *Cluster) Config() Config { return c.cfg }
 
 // TransferTime returns latency plus size-dependent wire time for a payload
-// of the given size (header added automatically).
+// of the given size (header added automatically). It is the uncontended
+// transfer cost; queueing delay under the contention model comes on top.
 func (c *Cluster) TransferTime(payloadBytes int) Time {
 	wire := payloadBytes + c.cfg.HeaderBytes
 	return c.cfg.Latency + Time(float64(wire)*c.cfg.NanosPerByte)
+}
+
+// NodeOf maps a process id to its physical node under the contention
+// model. Without one (Config.Nodes == 0) every process is its own node.
+func (c *Cluster) NodeOf(proc int) int {
+	if c.cfg.Nodes > 0 {
+		return proc % c.cfg.Nodes
+	}
+	return proc
 }
 
 // DeadlockError reports that no process could make progress.
@@ -352,8 +416,11 @@ func (p *Proc) Send(dst, tag int, payload any, payloadBytes int, kind stats.Kind
 		panic(fmt.Sprintf("sim: send to invalid proc %d", dst))
 	}
 	p.Advance(p.c.cfg.SendOverhead)
-	wire := payloadBytes + p.c.cfg.HeaderBytes
-	p.c.seq++
+	c := p.c
+	wire := payloadBytes + c.cfg.HeaderBytes
+	wireT := Time(float64(wire) * c.cfg.NanosPerByte)
+	start, queued := c.admit(p.id, dst, wireT)
+	c.seq++
 	m := &Message{
 		Src:      p.id,
 		Dst:      dst,
@@ -362,11 +429,75 @@ func (p *Proc) Send(dst, tag int, payload any, payloadBytes int, kind stats.Kind
 		Bytes:    wire,
 		Kind:     kind,
 		SendTime: p.clock,
-		Deliver:  p.clock + p.c.cfg.Latency + Time(float64(wire)*p.c.cfg.NanosPerByte),
-		seq:      p.c.seq,
+		Deliver:  start + c.cfg.Latency + wireT,
+		Queued:   queued,
+		seq:      c.seq,
 	}
-	p.c.procs[dst].inbox = append(p.c.procs[dst].inbox, m)
-	p.c.stats.Record(kind, wire)
+	c.procs[dst].inbox = append(c.procs[dst].inbox, m)
+	c.stats.Record(kind, wire)
+	if queued > 0 {
+		c.stats.RecordQueue(c.NodeOf(p.id), int64(queued))
+	}
+	// Keep the horizon honest under contention: this send may let dst
+	// act as early as m.Deliver, but the horizon handed to this process
+	// predates the send. Without tightening it, the sender could keep
+	// executing past that time and admit *later* sends to the links
+	// first, breaking the nondecreasing-send-time order the link
+	// bookkeeping's FIFO-per-link property rests on. The tightening is
+	// gated on the contention model because the extra yields reorder
+	// same-virtual-time interleavings (runtimes share per-node state
+	// between application and server processes), and the zero-value
+	// configuration must reproduce the historical schedule bit for bit.
+	if (c.cfg.Nodes > 0 || c.cfg.BackplaneWays > 0) && m.Deliver < p.horizon {
+		p.horizon = m.Deliver
+	}
+}
+
+// admit pushes a wireT-long transfer from proc src to proc dst through
+// the contention model at the sender's current clock. It returns the
+// time the transfer begins occupying the wire (== the sender's clock
+// when contention modeling is off or no resource is busy) and the
+// queueing delay, and marks the sender's outgoing link, the receiver's
+// incoming link and the backplane busy for the transfer.
+//
+// The model is cut-through, in the spirit of the SP/2's wormhole-routed
+// two-level crossbar: once every resource on the path is free the
+// message streams through all of them simultaneously, paying its
+// serialization time wireT exactly once (so the uncontended delivery
+// time is bit-identical to the infinite-capacity model). Each link is
+// FIFO: because sends are processed in nondecreasing send-time order,
+// busy-until times only move forward and messages through one link
+// transmit back-to-back in send order.
+func (c *Cluster) admit(src, dst int, wireT Time) (start, queued Time) {
+	start = c.procs[src].clock
+	nicOn := c.cfg.Nodes > 0
+	var sn, dn int
+	if nicOn {
+		sn, dn = src%c.cfg.Nodes, dst%c.cfg.Nodes
+		if sn == dn {
+			// Loopback between processes of one node (e.g. an
+			// application process and its own request server) does not
+			// cross the NIC or the switch.
+			return start, 0
+		}
+		if c.outFree[sn] > start {
+			start = c.outFree[sn]
+		}
+		if c.inFree[dn] > start {
+			start = c.inFree[dn]
+		}
+	}
+	if c.cfg.BackplaneWays > 0 && c.bpFree > start {
+		start = c.bpFree
+	}
+	if nicOn {
+		c.outFree[sn] = start + wireT
+		c.inFree[dn] = start + wireT
+	}
+	if c.cfg.BackplaneWays > 0 {
+		c.bpFree = start + wireT/Time(c.cfg.BackplaneWays)
+	}
+	return start, start - c.procs[src].clock
 }
 
 // minMatch returns the index of the earliest-delivered message matching

@@ -58,12 +58,26 @@ func (k Kind) String() string {
 // Table 2/3 totals.
 func (k Kind) Counted() bool { return k != KindShutdown }
 
-// Stats holds per-kind message counts and byte totals. The zero value is
-// ready to use. It is safe for single-threaded use only; the simulator's
-// scheduler serializes all access during a run.
+// MaxNodes bounds the per-node queueing-delay accounting of the
+// contention model. Nodes beyond the bound accumulate into the last
+// slot (the simulator never runs that wide today).
+const MaxNodes = 64
+
+// Stats holds per-kind message counts and byte totals, plus the
+// contention model's per-node queueing-delay accounting. The zero value
+// is ready to use. It is safe for single-threaded use only; the
+// simulator's scheduler serializes all access during a run.
 type Stats struct {
 	Msgs  [numKinds]int64
 	Bytes [numKinds]int64
+
+	// QueueNanos is the virtual time messages spent waiting for a busy
+	// NIC link or backplane before transmission, accumulated per
+	// sending node. All zero when contention modeling is off.
+	QueueNanos [MaxNodes]int64
+	// QueuedMsgs counts the messages per sending node that waited at
+	// all.
+	QueuedMsgs [MaxNodes]int64
 }
 
 // Record adds one message of kind k carrying the given number of bytes
@@ -71,6 +85,47 @@ type Stats struct {
 func (s *Stats) Record(k Kind, bytes int) {
 	s.Msgs[k]++
 	s.Bytes[k] += int64(bytes)
+}
+
+// RecordQueue adds contention queueing delay for one message sent by
+// the given node.
+func (s *Stats) RecordQueue(node int, nanos int64) {
+	if node < 0 {
+		return
+	}
+	if node >= MaxNodes {
+		node = MaxNodes - 1
+	}
+	s.QueueNanos[node] += nanos
+	s.QueuedMsgs[node]++
+}
+
+// QueueNanosOf returns the accumulated queueing delay of one node's
+// outgoing traffic.
+func (s *Stats) QueueNanosOf(node int) int64 {
+	if node < 0 || node >= MaxNodes {
+		return 0
+	}
+	return s.QueueNanos[node]
+}
+
+// TotalQueueNanos returns the queueing delay summed over all nodes.
+func (s *Stats) TotalQueueNanos() int64 {
+	var t int64
+	for _, v := range s.QueueNanos {
+		t += v
+	}
+	return t
+}
+
+// TotalQueuedMsgs returns the number of messages that waited for a busy
+// link, summed over all nodes.
+func (s *Stats) TotalQueuedMsgs() int64 {
+	var t int64
+	for _, v := range s.QueuedMsgs {
+		t += v
+	}
+	return t
 }
 
 // Reset zeroes every counter. The harness calls this at the end of the
@@ -118,6 +173,23 @@ func (s *Stats) Add(o *Stats) {
 		s.Msgs[k] += o.Msgs[k]
 		s.Bytes[k] += o.Bytes[k]
 	}
+	for n := 0; n < MaxNodes; n++ {
+		s.QueueNanos[n] += o.QueueNanos[n]
+		s.QueuedMsgs[n] += o.QueuedMsgs[n]
+	}
+}
+
+// Sub subtracts o from s, counter by counter. The timed-region
+// bookkeeping uses it to strip a warm-up baseline snapshot.
+func (s *Stats) Sub(o *Stats) {
+	for k := Kind(0); k < numKinds; k++ {
+		s.Msgs[k] -= o.Msgs[k]
+		s.Bytes[k] -= o.Bytes[k]
+	}
+	for n := 0; n < MaxNodes; n++ {
+		s.QueueNanos[n] -= o.QueueNanos[n]
+		s.QueuedMsgs[n] -= o.QueuedMsgs[n]
+	}
 }
 
 // String formats the non-zero categories, for debugging and reports.
@@ -128,6 +200,9 @@ func (s *Stats) String() string {
 		if s.Msgs[k] != 0 {
 			fmt.Fprintf(&b, " %s=%d/%dB", k, s.Msgs[k], s.Bytes[k])
 		}
+	}
+	if q := s.TotalQueueNanos(); q != 0 {
+		fmt.Fprintf(&b, " queued=%d/%dns", s.TotalQueuedMsgs(), q)
 	}
 	return b.String()
 }

@@ -58,7 +58,10 @@ func NewSystem(nprocs int, costs model.Costs, opts ...Option) *System {
 	if nprocs < 1 {
 		panic("tmk: need at least one process")
 	}
-	cfg := costs.SimConfig(2 * nprocs)
+	// 2*nprocs simulated processes on nprocs physical nodes: each
+	// node's application process and request server share its NIC
+	// under the contention model.
+	cfg := costs.SimConfigNodes(2*nprocs, nprocs)
 	s := &System{
 		nprocs:   nprocs,
 		costs:    costs,

@@ -126,6 +126,25 @@ func (x *XHPF) LoopSync() {
 // sections go out in chunks of this many bytes.
 const chunkBytes = 4096
 
+// chunkTagStride separates the per-chunk tags of one multi-message
+// transfer. The simulated network does not guarantee non-overtaking
+// delivery within a (src, dst) pair the way PVMe/MPL did: a small
+// ragged tail chunk's wire time can undercut a full chunk's, so with a
+// shared tag the receiver — which consumes matching messages in
+// delivery order — would place chunk payloads at the wrong offsets
+// (observed on IGrid/xhpf at 4 nodes, where a 36-element tail overtook
+// its 1024-element predecessor and silently corrupted every broadcast
+// block). Each in-flight message of a pair therefore carries a distinct
+// tag, derived identically on both sides from the chunk index. The
+// stride keeps these tags disjoint from every rolling x.seq tag.
+const chunkTagStride = 1 << 20
+
+// chunkTag derives the wire tag of the idx-th in-flight message of one
+// (src, dst) stream within a collective. Send and receive sides must
+// derive idx identically — both count chunks (or sections × chunks) in
+// the same deterministic loop order — or the transfer deadlocks.
+func chunkTag(base, idx int) int { return base + idx*chunkTagStride }
+
 func BroadcastPartition[T pvm.Scalar](x *XHPF, arr []T, extent, elemSize int) {
 	x.seq += 2
 	tag := 1<<13 + x.seq
@@ -139,7 +158,7 @@ func BroadcastPartition[T pvm.Scalar](x *XHPF, arr []T, extent, elemSize int) {
 			continue
 		}
 		for off := mylo; off < myhi; off += chunk {
-			pvm.Send(x.pv, q, tag, arr[off:min(off+chunk, myhi)])
+			pvm.Send(x.pv, q, chunkTag(tag, (off-mylo)/chunk), arr[off:min(off+chunk, myhi)])
 		}
 	}
 	for q := 0; q < x.n; q++ {
@@ -149,7 +168,7 @@ func BroadcastPartition[T pvm.Scalar](x *XHPF, arr []T, extent, elemSize int) {
 		qlo, qhi := BlockOf(q, x.n, extent)
 		x.chargeSection((qhi - qlo) * elemSize)
 		for off := qlo; off < qhi; off += chunk {
-			pvm.Recv(x.pv, q, tag, arr[off:min(off+chunk, qhi)])
+			pvm.Recv(x.pv, q, chunkTag(tag, (off-qlo)/chunk), arr[off:min(off+chunk, qhi)])
 		}
 	}
 }
@@ -171,7 +190,7 @@ func BroadcastGather[T pvm.Scalar](x *XHPF, parts [][]T) {
 			continue
 		}
 		for off := 0; off < len(mine); off += chunk {
-			pvm.Send(x.pv, q, tag, mine[off:min(off+chunk, len(mine))])
+			pvm.Send(x.pv, q, chunkTag(tag, off/chunk), mine[off:min(off+chunk, len(mine))])
 		}
 	}
 	for q := 0; q < x.n; q++ {
@@ -181,7 +200,7 @@ func BroadcastGather[T pvm.Scalar](x *XHPF, parts [][]T) {
 		buf := parts[q]
 		x.chargeSection(len(buf) * 4)
 		for off := 0; off < len(buf); off += chunk {
-			pvm.Recv(x.pv, q, tag, buf[off:min(off+chunk, len(buf))])
+			pvm.Recv(x.pv, q, chunkTag(tag, off/chunk), buf[off:min(off+chunk, len(buf))])
 		}
 	}
 }
@@ -247,11 +266,15 @@ func SectionAllToAll[T pvm.Scalar](x *XHPF, sectionLen, elemSize int,
 		if q == me {
 			continue
 		}
+		// Per-pair message index: placeFor on the receiver mirrors
+		// sectionsFor on the sender, so both sides count identically.
+		msg := 0
 		for _, sec := range sectionsFor(q) {
 			x.chargeSection(len(sec) * elemSize)
 			for off := 0; off < len(sec); off += sectionLen {
 				end := min(off+sectionLen, len(sec))
-				pvm.Send(x.pv, q, tag, sec[off:end])
+				pvm.Send(x.pv, q, chunkTag(tag, msg), sec[off:end])
+				msg++
 			}
 		}
 	}
@@ -259,11 +282,13 @@ func SectionAllToAll[T pvm.Scalar](x *XHPF, sectionLen, elemSize int,
 		if q == me {
 			continue
 		}
+		msg := 0
 		for _, sec := range placeFor(q) {
 			x.chargeSection(len(sec) * elemSize)
 			for off := 0; off < len(sec); off += sectionLen {
 				end := min(off+sectionLen, len(sec))
-				pvm.Recv(x.pv, q, tag, sec[off:end])
+				pvm.Recv(x.pv, q, chunkTag(tag, msg), sec[off:end])
+				msg++
 			}
 		}
 	}
@@ -316,7 +341,7 @@ func BroadcastBlocks[T pvm.Scalar](x *XHPF, arr []T, blockOf func(q int) (lo, hi
 			continue
 		}
 		for off := mylo; off < myhi; off += chunk {
-			pvm.Send(x.pv, q, tag, arr[off:min(off+chunk, myhi)])
+			pvm.Send(x.pv, q, chunkTag(tag, (off-mylo)/chunk), arr[off:min(off+chunk, myhi)])
 		}
 	}
 	for q := 0; q < x.n; q++ {
@@ -326,7 +351,7 @@ func BroadcastBlocks[T pvm.Scalar](x *XHPF, arr []T, blockOf func(q int) (lo, hi
 		qlo, qhi := blockOf(q)
 		x.chargeSection((qhi - qlo) * elemSize)
 		for off := qlo; off < qhi; off += chunk {
-			pvm.Recv(x.pv, q, tag, arr[off:min(off+chunk, qhi)])
+			pvm.Recv(x.pv, q, chunkTag(tag, (off-qlo)/chunk), arr[off:min(off+chunk, qhi)])
 		}
 	}
 }

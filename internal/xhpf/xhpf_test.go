@@ -282,3 +282,121 @@ func TestBoundarySyncUntracked(t *testing.T) {
 		t.Errorf("boundary sync counted %d messages", got)
 	}
 }
+
+// TestBroadcastChunkTailNoOvertake is the regression test for the
+// chunk-overtaking bug: the simulated network does not guarantee
+// non-overtaking delivery within a (src, dst) pair, so a broadcast
+// block whose ragged tail chunk is tiny (here 36 elements after a full
+// 1024-element chunk) used to arrive *before* its predecessor, and the
+// shared-tag receive loop would install both chunks at the wrong
+// offsets. Per-chunk tags fixed it; this pins the placement for every
+// (full + tiny tail) block on an uncontended network, where the
+// overtake window is widest.
+func TestBroadcastChunkTailNoOvertake(t *testing.T) {
+	const per = 1024 + 36 // one full 4 KB chunk + a 144-byte tail
+	sys := newSys(4)
+	if err := sys.Run(func(x *XHPF) {
+		n := x.NProcs()
+		arr := make([]float32, n*per)
+		lo, hi := x.ID()*per, (x.ID()+1)*per
+		for i := lo; i < hi; i++ {
+			arr[i] = float32(1000*x.ID() + i)
+		}
+		BroadcastBlocks(x, arr, func(q int) (int, int) { return q * per, (q + 1) * per }, 4)
+		for q := 0; q < n; q++ {
+			for i := q * per; i < (q+1)*per; i++ {
+				if arr[i] != float32(1000*q+i) {
+					t.Errorf("proc %d: arr[%d] = %v, want %v (chunk placement scrambled)",
+						x.ID(), i, arr[i], float32(1000*q+i))
+					return
+				}
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBroadcastPartitionRaggedTail covers the same overtake window in
+// BroadcastPartition.
+func TestBroadcastPartitionRaggedTail(t *testing.T) {
+	const extent = 4 * (1024 + 36)
+	sys := newSys(4)
+	if err := sys.Run(func(x *XHPF) {
+		arr := make([]float32, extent)
+		lo, hi := x.Block(extent)
+		for i := lo; i < hi; i++ {
+			arr[i] = float32(7*x.ID() + i)
+		}
+		BroadcastPartition(x, arr, extent, 4)
+		for q := 0; q < x.NProcs(); q++ {
+			qlo, qhi := BlockOf(q, x.NProcs(), extent)
+			for i := qlo; i < qhi; i++ {
+				if arr[i] != float32(7*q+i) {
+					t.Errorf("proc %d: arr[%d] = %v, want %v", x.ID(), i, arr[i], float32(7*q+i))
+					return
+				}
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSectionAllToAllUnevenSections covers the overtake window in
+// SectionAllToAll: each (src, dst) pair exchanges one long section
+// whose final chunk is tiny (1024+36 elements at sectionLen=1024)
+// followed by a short 7-element section, so without per-message tags
+// the small trailing messages would overtake the full chunk and land
+// at its offsets. The per-pair message indexes on the send and receive
+// sides must mirror each other exactly for uneven section lists.
+func TestSectionAllToAllUnevenSections(t *testing.T) {
+	const long, short = 1024 + 36, 7
+	sys := newSys(3)
+	if err := sys.Run(func(x *XHPF) {
+		n := x.NProcs()
+		me := x.ID()
+		// out[d] / in[s]: a long and a short section per remote peer,
+		// filled with values identifying (owner, section, index).
+		mk := func(owner, peer int) [][]float32 {
+			a := make([]float32, long)
+			b := make([]float32, short)
+			for i := range a {
+				a[i] = float32(owner*100000 + peer*10000 + i)
+			}
+			for i := range b {
+				b[i] = float32(owner*100000 + peer*10000 + 5000 + i)
+			}
+			return [][]float32{a, b}
+		}
+		out := make([][][]float32, n)
+		in := make([][][]float32, n)
+		for q := 0; q < n; q++ {
+			if q == me {
+				continue
+			}
+			out[q] = mk(me, q)
+			in[q] = [][]float32{make([]float32, long), make([]float32, short)}
+		}
+		SectionAllToAll(x, 1024, 4,
+			func(dst int) [][]float32 { return out[dst] },
+			func(src int) [][]float32 { return in[src] })
+		for q := 0; q < n; q++ {
+			if q == me {
+				continue
+			}
+			want := mk(q, me)
+			for s := range want {
+				for i := range want[s] {
+					if in[q][s][i] != want[s][i] {
+						t.Errorf("proc %d: in[%d][%d][%d] = %v, want %v (section placement scrambled)",
+							me, q, s, i, in[q][s][i], want[s][i])
+						return
+					}
+				}
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

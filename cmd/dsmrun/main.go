@@ -1,10 +1,12 @@
-// Command dsmrun executes one (application, version, processors) run and
-// prints its timed-region metrics: virtual time, speedup over the
-// sequential baseline, message count, and data volume.
+// Command dsmrun is the thin CLI over the internal/exp measurement
+// engine. It executes a single (application, version, processors) run —
+// or a whole declarative sweep — and reports timed-region metrics:
+// virtual time, speedup over the sequential baseline, message count,
+// and data volume.
 //
-// Usage:
+// Single run:
 //
-//	dsmrun -app Jacobi -version tmk [-procs 8] [-scale mid] [-protocol lrc|hlrc] [-contention N] [-json]
+//	dsmrun -app Jacobi -version tmk [-procs 8] [-scale mid] [-protocol lrc|hlrc] [-contention N] [-fifo] [-json]
 //
 // Versions: seq, spf, tmk, xhpf, pvme, spf-opt, tmk-opt, spf-old,
 // spf-gen, xhpf-gen (availability varies by application; see -list).
@@ -19,11 +21,26 @@
 // full-rate transfers, -1 serializes the NICs over an ideal backplane,
 // 0 (default) keeps the infinite-capacity interconnect. Contended runs
 // additionally report the queueing delay messages spent waiting for
-// busy links.
+// busy links, split by the binding resource (out link / in link /
+// backplane). -fifo opts in to non-overtaking delivery within each
+// (src, dst) pair, as the real PVMe/MPL transports guaranteed.
 //
 // With -json the result is emitted as a single JSON object (time,
 // speedup, messages, bytes, checksum, queueing delay) for scripted
 // benchmarking.
+//
+// Sweep mode:
+//
+//	dsmrun -sweep "procs=1,2,4,8 protocol=lrc,hlrc" [-workers N]
+//	dsmrun -scale small -sweep app=Jacobi,RB-SOR version=tmk,xhpf procs=1,2
+//
+// -sweep expands the cross-product of axis values (axes: app, version,
+// procs, scale, protocol, contention, fifo; remaining command-line
+// arguments are parsed as additional axes) over the base flags, runs
+// every point concurrently across host cores, and streams one
+// JSON-lines record per point to stdout — in cross-product order,
+// byte-identical regardless of -workers. Run failures become records
+// with an "error" field and a non-zero exit status.
 package main
 
 import (
@@ -31,29 +48,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
-	"repro/internal/harness"
+	"repro/internal/exp"
 	"repro/internal/proto"
+	"repro/internal/stats"
 )
-
-// jsonResult is the machine-readable run record emitted by -json.
-type jsonResult struct {
-	App          string  `json:"app"`
-	Version      string  `json:"version"`
-	Procs        int     `json:"procs"`
-	Scale        string  `json:"scale"`
-	Protocol     string  `json:"protocol,omitempty"`
-	Contention   int     `json:"contention,omitempty"`
-	TimeSeconds  float64 `json:"time_seconds"`
-	Msgs         int64   `json:"msgs"`
-	Bytes        int64   `json:"bytes"`
-	Checksum     float64 `json:"checksum"`
-	QueueSeconds float64 `json:"queue_seconds,omitempty"`
-	QueuedMsgs   int64   `json:"queued_msgs,omitempty"`
-	SeqSeconds   float64 `json:"seq_seconds,omitempty"`
-	Speedup      float64 `json:"speedup,omitempty"`
-}
 
 func main() {
 	app := flag.String("app", "Jacobi", "application name (see -list)")
@@ -62,12 +63,15 @@ func main() {
 	scale := flag.String("scale", "mid", "problem scale: paper, mid, or small")
 	protocol := flag.String("protocol", "", "DSM coherence protocol: lrc (default) or hlrc")
 	contention := flag.Int("contention", 0, "network contention: 0 off, -1 serial NICs only, N>0 serial NICs + N-way backplane")
+	fifo := flag.Bool("fifo", false, "non-overtaking delivery within each (src, dst) pair")
 	asJSON := flag.Bool("json", false, "emit the run result as one JSON object")
+	sweep := flag.String("sweep", "", `sweep axes, e.g. "procs=1,2,4,8 protocol=lrc,hlrc" (emits JSON-lines)`)
+	workers := flag.Int("workers", 0, "sweep worker pool size (0: all host cores)")
 	list := flag.Bool("list", false, "list applications and versions")
 	flag.Parse()
 
 	if *list {
-		for _, a := range harness.AllApps() {
+		for _, a := range exp.Apps() {
 			fmt.Printf("%-9s versions:", a.Name())
 			for _, v := range a.Versions() {
 				fmt.Printf(" %s", v)
@@ -76,57 +80,61 @@ func main() {
 		}
 		return
 	}
-	a, err := harness.AppByName(*app)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 	pname, err := proto.Parse(*protocol)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-	r := harness.NewRunner(*procs, harness.Scale(*scale))
-	r.Protocol = pname
 	if *contention < -1 {
 		fmt.Fprintf(os.Stderr, "dsmrun: invalid -contention %d (want 0, -1, or a positive backplane bound)\n", *contention)
 		os.Exit(2)
 	}
-	r.Costs = r.Costs.WithContention(*contention)
-	res, err := r.Run(a, core.Version(*version))
+	base := exp.Spec{
+		App:     *app,
+		Version: core.Version(*version),
+		Procs:   *procs,
+		Scale:   core.Scale(*scale),
+		// The single-run path resolves the protocol (empty -> lrc) so
+		// its output names what actually ran; sweep axes do the same
+		// through exp.ParseAxes.
+		Protocol:   pname,
+		Contention: *contention,
+		FIFO:       *fifo,
+	}
+	eng := exp.New()
+	eng.Workers = *workers
+
+	if *sweep != "" || flag.NArg() > 0 {
+		tokens := append(strings.Fields(*sweep), flag.Args()...)
+		axes, err := exp.ParseAxes(tokens)
+		if err != nil {
+			fatal(err)
+		}
+		specs := axes.Specs(base)
+		for i := range specs {
+			specs[i] = specs[i].Normalize()
+		}
+		if err := eng.Stream(os.Stdout, specs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	res, err := eng.Run(base.Normalize())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	var seq core.Result
 	haveSeq := false
-	if *version != "seq" {
-		if seq, err = r.Run(a, core.Seq); err == nil {
+	if base.Version != core.Seq {
+		seqSpec := base
+		seqSpec.Version = core.Seq
+		if seq, err = eng.Run(seqSpec.Normalize()); err == nil {
 			haveSeq = true
 		}
 	}
 
 	if *asJSON {
-		out := jsonResult{
-			App: res.App, Version: string(res.Version), Procs: res.Procs,
-			Scale: *scale, Protocol: string(res.Protocol),
-			Contention:   *contention,
-			TimeSeconds:  res.Time.Seconds(),
-			Msgs:         res.Stats.TotalMsgs(),
-			Bytes:        res.Stats.TotalBytes(),
-			Checksum:     res.Checksum,
-			QueueSeconds: res.QueueTime().Seconds(),
-			QueuedMsgs:   res.Stats.TotalQueuedMsgs(),
-		}
-		if haveSeq {
-			out.SeqSeconds = seq.Time.Seconds()
-			out.Speedup = res.Speedup(seq.Time)
-		}
-		enc := json.NewEncoder(os.Stdout)
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		printJSON(base.Normalize(), res, seq, haveSeq)
 		return
 	}
 
@@ -141,7 +149,9 @@ func main() {
 	fmt.Printf("checksum  = %g\n", res.Checksum)
 	fmt.Printf("breakdown = %s\n", res.Stats.String())
 	if *contention != 0 {
-		fmt.Printf("queueing  = %v over %d delayed messages\n", res.QueueTime(), res.Stats.TotalQueuedMsgs())
+		fmt.Printf("queueing  = %v over %d delayed messages (out %v, in %v, backplane %v)\n",
+			res.QueueTime(), res.Stats.TotalQueuedMsgs(),
+			res.QueueTimeBy(stats.QueueOut), res.QueueTimeBy(stats.QueueIn), res.QueueTimeBy(stats.QueueBackplane))
 	}
 	if res.FaultTime+res.SyncTime+res.WriteTime > 0 {
 		fmt.Printf("overheads = fault %v, sync %v, write-detect %v (summed over %d procs)\n",
@@ -150,4 +160,28 @@ func main() {
 	if haveSeq {
 		fmt.Printf("speedup   = %.2f (seq %v)\n", res.Speedup(seq.Time), seq.Time)
 	}
+}
+
+// printJSON emits the single-run record, extended with the sequential
+// baseline when one was computable (the sweep schema plus
+// seq_seconds/speedup).
+func printJSON(s exp.Spec, res, seq core.Result, haveSeq bool) {
+	rec := exp.RecordOf(s, res, nil)
+	out := struct {
+		exp.Record
+		SeqSeconds float64 `json:"seq_seconds,omitempty"`
+		Speedup    float64 `json:"speedup,omitempty"`
+	}{Record: rec}
+	if haveSeq {
+		out.SeqSeconds = seq.Time.Seconds()
+		out.Speedup = res.Speedup(seq.Time)
+	}
+	if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -1,8 +1,13 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures. It
+// is a thin rendering client of the internal/exp sweep engine: each
+// experiment declares its (application × version × procs × protocol)
+// grid as a spec list, the engine executes the grid concurrently
+// across host cores (bounded by -workers) behind a shared result
+// cache, and the tables are formatted from the engine's output.
 //
 // Usage:
 //
-//	experiments [-procs 8] [-scale paper|mid|small] [-protocol lrc|hlrc] [-only table1,figure1,...]
+//	experiments [-procs 8] [-scale paper|mid|small] [-protocol lrc|hlrc] [-workers N] [-only table1,figure1,...]
 //
 // With no -only flag every experiment runs (Table 1, Figures 1-2,
 // Tables 2-3, the §5 hand optimizations, and the §2.3 interface
@@ -39,6 +44,7 @@ func main() {
 	scale := flag.String("scale", "paper", "problem scale: paper, mid, or small")
 	protocol := flag.String("protocol", "", "DSM coherence protocol: lrc (default) or hlrc")
 	contention := flag.Int("contention", 0, "network contention: 0 off, -1 serial NICs only, N>0 serial NICs + N-way backplane")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0: all host cores)")
 	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler,contention)")
 	flag.Parse()
 
@@ -49,6 +55,7 @@ func main() {
 	}
 	r := harness.NewRunner(*procs, harness.Scale(*scale))
 	r.Protocol = pname
+	r.Workers = *workers
 	if *contention < -1 {
 		fmt.Fprintf(os.Stderr, "experiments: invalid -contention %d (want 0, -1, or a positive backplane bound)\n", *contention)
 		os.Exit(2)

@@ -1,0 +1,62 @@
+// Command sweeplint validates a JSON-lines sweep stream (the output of
+// `dsmrun -sweep ...`) against the internal/exp record schema: every
+// line must parse strictly (unknown fields rejected), carry a coherent
+// spec, and keep its measurements internally consistent (queue splits
+// covering totals, time_seconds agreeing with time_ns, finite
+// checksums). Records whose "error" field is set count as run failures.
+//
+// Usage:
+//
+//	dsmrun -scale small -sweep "procs=1,2 protocol=lrc,hlrc" | sweeplint [-n expected]
+//
+// Exit status: 0 when every record validates and none carries an error
+// (and the count matches -n, if given); 1 otherwise. CI's sweep smoke
+// job pipes a tiny cross-product through it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	expected := flag.Int("n", -1, "expected record count (-1: any)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	records, failures, invalid := 0, 0, 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		records++
+		rec, err := exp.ValidateLine(line)
+		if err != nil {
+			invalid++
+			fmt.Fprintf(os.Stderr, "sweeplint: record %d: %v\n", records, err)
+			continue
+		}
+		if rec.Error != "" {
+			failures++
+			fmt.Fprintf(os.Stderr, "sweeplint: record %d (%s): run failed: %s\n", records, rec.Key(), rec.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweeplint: read: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sweeplint: %d records, %d invalid, %d failed runs\n", records, invalid, failures)
+	if invalid > 0 || failures > 0 {
+		os.Exit(1)
+	}
+	if *expected >= 0 && records != *expected {
+		fmt.Fprintf(os.Stderr, "sweeplint: got %d records, want %d\n", records, *expected)
+		os.Exit(1)
+	}
+}

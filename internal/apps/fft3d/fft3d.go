@@ -40,12 +40,15 @@ func New() core.App { return app{} }
 
 func (app) Name() string { return "3-D FFT" }
 
-func (app) PaperConfig(procs int) core.Config {
-	return core.Config{Procs: procs, N1: 128, N2: 128, N3: 64, Iters: 5, Warmup: 1}
-}
-
-func (app) SmallConfig(procs int) core.Config {
-	return core.Config{Procs: procs, N1: 16, N2: 16, N3: 8, Iters: 2, Warmup: 1}
+func (app) Config(scale core.Scale, procs int) core.Config {
+	switch scale {
+	case core.SmallScale:
+		return core.Config{Procs: procs, N1: 16, N2: 16, N3: 8, Iters: 2, Warmup: 1}
+	case core.MidScale:
+		return core.Config{Procs: procs, N1: 64, N2: 64, N3: 32, Iters: 3, Warmup: 1}
+	default:
+		return core.Config{Procs: procs, N1: 128, N2: 128, N3: 64, Iters: 5, Warmup: 1}
+	}
 }
 
 func (app) Versions() []core.Version {

@@ -33,12 +33,15 @@ func New() core.App { return app{} }
 
 func (app) Name() string { return "IGrid" }
 
-func (app) PaperConfig(procs int) core.Config {
-	return core.Config{Procs: procs, N1: 500, Iters: 19, Warmup: 1}
-}
-
-func (app) SmallConfig(procs int) core.Config {
-	return core.Config{Procs: procs, N1: 60, Iters: 5, Warmup: 1}
+func (app) Config(scale core.Scale, procs int) core.Config {
+	switch scale {
+	case core.SmallScale:
+		return core.Config{Procs: procs, N1: 60, Iters: 5, Warmup: 1}
+	case core.MidScale:
+		return core.Config{Procs: procs, N1: 500, Iters: 10, Warmup: 1}
+	default:
+		return core.Config{Procs: procs, N1: 500, Iters: 19, Warmup: 1}
+	}
 }
 
 func (app) Versions() []core.Version {

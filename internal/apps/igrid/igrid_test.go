@@ -9,7 +9,7 @@ import (
 )
 
 func cfgSmall(procs int) core.Config {
-	c := New().SmallConfig(procs)
+	c := New().Config(core.SmallScale, procs)
 	c.Costs = model.SP2()
 	c.App = model.DefaultAppCosts()
 	return c

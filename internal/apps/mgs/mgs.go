@@ -41,12 +41,16 @@ func New() core.App { return app{} }
 
 func (app) Name() string { return "MGS" }
 
-func (app) PaperConfig(procs int) core.Config {
-	return core.Config{Procs: procs, N1: 1024, Iters: 1024, Warmup: 0}
-}
-
-func (app) SmallConfig(procs int) core.Config {
-	return core.Config{Procs: procs, N1: 64, Iters: 64, Warmup: 0}
+// Config: MGS's mid scale equals the paper scale — it must keep the
+// vector-equals-page geometry (at any narrower width two cyclically
+// owned vectors share a page and false sharing swamps the comparison).
+func (app) Config(scale core.Scale, procs int) core.Config {
+	switch scale {
+	case core.SmallScale:
+		return core.Config{Procs: procs, N1: 64, Iters: 64, Warmup: 0}
+	default:
+		return core.Config{Procs: procs, N1: 1024, Iters: 1024, Warmup: 0}
+	}
 }
 
 func (app) Versions() []core.Version {

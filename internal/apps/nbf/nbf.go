@@ -37,13 +37,17 @@ func New() core.App { return app{} }
 
 func (app) Name() string { return "NBF" }
 
-func (app) PaperConfig(procs int) core.Config {
-	// N1 = molecules, N2 = partner-window, N3 = partners per molecule.
-	return core.Config{Procs: procs, N1: 32768, N2: 512, N3: 100, Iters: 19, Warmup: 1}
-}
-
-func (app) SmallConfig(procs int) core.Config {
-	return core.Config{Procs: procs, N1: 1024, N2: 64, N3: 12, Iters: 4, Warmup: 1}
+// Config: N1 = molecules, N2 = partner-window, N3 = partners per
+// molecule.
+func (app) Config(scale core.Scale, procs int) core.Config {
+	switch scale {
+	case core.SmallScale:
+		return core.Config{Procs: procs, N1: 1024, N2: 64, N3: 12, Iters: 4, Warmup: 1}
+	case core.MidScale:
+		return core.Config{Procs: procs, N1: 8192, N2: 256, N3: 50, Iters: 8, Warmup: 1}
+	default:
+		return core.Config{Procs: procs, N1: 32768, N2: 512, N3: 100, Iters: 19, Warmup: 1}
+	}
 }
 
 func (app) Versions() []core.Version {

@@ -8,7 +8,7 @@ import (
 )
 
 func cfgFor(procs int) core.Config {
-	cfg := New().SmallConfig(procs)
+	cfg := New().Config(core.SmallScale, procs)
 	cfg.Costs = model.SP2()
 	cfg.App = model.DefaultAppCosts()
 	return cfg

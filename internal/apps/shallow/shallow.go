@@ -43,12 +43,15 @@ func New() core.App { return app{} }
 
 func (app) Name() string { return "Shallow" }
 
-func (app) PaperConfig(procs int) core.Config {
-	return core.Config{Procs: procs, N1: 1024, Iters: 50, Warmup: 1}
-}
-
-func (app) SmallConfig(procs int) core.Config {
-	return core.Config{Procs: procs, N1: 64, Iters: 4, Warmup: 1}
+func (app) Config(scale core.Scale, procs int) core.Config {
+	switch scale {
+	case core.SmallScale:
+		return core.Config{Procs: procs, N1: 64, Iters: 4, Warmup: 1}
+	case core.MidScale:
+		return core.Config{Procs: procs, N1: 512, Iters: 10, Warmup: 1}
+	default:
+		return core.Config{Procs: procs, N1: 1024, Iters: 50, Warmup: 1}
+	}
 }
 
 func (app) Versions() []core.Version {

@@ -59,6 +59,21 @@ const (
 	XHPFGen Version = "xhpf-gen"
 )
 
+// Scale selects a problem-size regime. Sizing lives with the
+// application: every app package maps (scale, procs) to a concrete
+// Config through App.Config, so no runner needs a per-app size table.
+type Scale string
+
+const (
+	// PaperScale runs Table 1's data sets.
+	PaperScale Scale = "paper"
+	// MidScale runs reduced sizes that preserve the page-granularity
+	// regime (rows/vectors of at least a page) at a fraction of the time.
+	MidScale Scale = "mid"
+	// SmallScale runs the tiny test sizes.
+	SmallScale Scale = "small"
+)
+
 // Config carries a run's parameters. The per-application meaning of N1,
 // N2, N3 is documented by each application package.
 type Config struct {
@@ -101,6 +116,19 @@ type Result struct {
 // contention off (Config.Costs.SerialNIC / BackplaneWays unset).
 func (r Result) QueueTime() sim.Time { return sim.Time(r.Stats.TotalQueueNanos()) }
 
+// QueueTimeBy returns the part of the queueing delay bound by one
+// contention resource (out link, in link, or backplane), summed over
+// nodes.
+func (r Result) QueueTimeBy(res stats.QueueResource) sim.Time {
+	return sim.Time(r.Stats.QueueResNanosOf(res))
+}
+
+// QueueTimeOf returns the part of the queueing delay accumulated by
+// messages of one traffic category.
+func (r Result) QueueTimeOf(k stats.Kind) sim.Time {
+	return sim.Time(r.Stats.QueueKindNanosOf(k))
+}
+
 // Speedup computes seqTime / r.Time.
 func (r Result) Speedup(seqTime sim.Time) float64 {
 	if r.Time == 0 {
@@ -114,15 +142,15 @@ func (r Result) String() string {
 		r.App, r.Version, r.Procs, r.Time, r.Stats.TotalMsgs(), r.Stats.TotalKB(), r.Checksum)
 }
 
-// App is the interface every application package satisfies through a
-// small adapter in the harness.
+// App is the interface every application package satisfies.
 type App interface {
 	// Name returns the application name as the paper uses it.
 	Name() string
-	// PaperConfig returns the paper's data-set size (Table 1).
-	PaperConfig(procs int) Config
-	// SmallConfig returns a fast configuration for tests and -short runs.
-	SmallConfig(procs int) Config
+	// Config maps a problem-size regime and processor count to the
+	// application's run parameters (sizes, iterations, warm-up). The
+	// caller fills in the machine-level fields (Costs, App, Protocol).
+	// Unknown scales resolve to PaperScale.
+	Config(scale Scale, procs int) Config
 	// Versions lists the supported versions.
 	Versions() []Version
 	// Run executes one version.

@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Engine executes specs against one machine calibration, fanning
+// independent simulations out across host cores behind a shared,
+// concurrency-safe result cache. Each simulated run is internally
+// deterministic (virtual time, one sim process at a time) and shares
+// no mutable state with other runs, so host-level parallelism cannot
+// perturb results: a sweep's output is bit-identical at any worker
+// count.
+type Engine struct {
+	// Costs is the interconnect/protocol calibration. Its contention
+	// and FIFO knobs are overridden per spec (Spec.Contention,
+	// Spec.FIFO), so the identity of a run is the spec alone.
+	Costs model.Costs
+	// App is the per-application compute calibration.
+	App model.AppCosts
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Lookup resolves application names; nil means the built-in
+	// registry (AppByName).
+	Lookup func(name string) (core.App, error)
+
+	mu    sync.Mutex
+	cache map[string]*entry
+}
+
+// entry is one cached (possibly in-flight) run. done closes when res
+// and err are final.
+type entry struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
+// New builds an engine with the calibrated SP/2 model.
+func New() *Engine {
+	return NewEngine(model.SP2(), model.DefaultAppCosts())
+}
+
+// NewEngine builds an engine with an explicit calibration.
+func NewEngine(costs model.Costs, app model.AppCosts) *Engine {
+	return &Engine{Costs: costs, App: app}
+}
+
+// Config resolves the concrete run configuration for a spec: the
+// application's sizing for (scale, procs) plus the engine calibration
+// with the spec's contention and delivery-order knobs applied.
+func (e *Engine) Config(a core.App, s Spec) core.Config {
+	cfg := a.Config(s.Scale, s.Procs)
+	cfg.Costs = e.Costs.WithContention(s.Contention).WithFIFOPairs(s.FIFO)
+	cfg.App = e.App
+	cfg.Protocol = s.Protocol
+	return cfg
+}
+
+// Run executes one spec, deduplicating concurrent and repeated
+// requests: the first caller for a key runs the simulation, everyone
+// else waits for (or immediately receives) its result.
+func (e *Engine) Run(s Spec) (core.Result, error) {
+	key := s.Key()
+	e.mu.Lock()
+	if e.cache == nil {
+		e.cache = map[string]*entry{}
+	}
+	en, ok := e.cache[key]
+	if !ok {
+		en = &entry{done: make(chan struct{})}
+		e.cache[key] = en
+		e.mu.Unlock()
+		en.res, en.err = e.execute(s)
+		close(en.done)
+		return en.res, en.err
+	}
+	e.mu.Unlock()
+	<-en.done
+	return en.res, en.err
+}
+
+// execute performs the simulation for one spec (no caching).
+func (e *Engine) execute(s Spec) (core.Result, error) {
+	if err := s.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	lookup := e.Lookup
+	if lookup == nil {
+		lookup = AppByName
+	}
+	a, err := lookup(s.App)
+	if err != nil {
+		return core.Result{}, err
+	}
+	res, err := a.Run(s.Version, e.Config(a, s))
+	if err != nil {
+		return core.Result{}, fmt.Errorf("%s/%s: %w", s.App, s.Version, err)
+	}
+	return res, nil
+}
+
+// CachedKeys lists completed or in-flight run keys in sorted order.
+func (e *Engine) CachedKeys() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	keys := make([]string, 0, len(e.cache))
+	for k := range e.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// workers resolves the pool width.
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// prefetch warms the cache for every spec using the worker pool. It
+// returns when all specs have completed (or failed). A non-nil cancel
+// flag stops new runs from starting (in-flight runs still finish).
+func (e *Engine) prefetch(specs []Spec, cancel *atomic.Bool) {
+	canceled := func() bool { return cancel != nil && cancel.Load() }
+	unique := make([]Spec, 0, len(specs))
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if k := s.Key(); !seen[k] {
+			seen[k] = true
+			unique = append(unique, s)
+		}
+	}
+	w := e.workers()
+	if w > len(unique) {
+		w = len(unique)
+	}
+	if w <= 1 {
+		for _, s := range unique {
+			if canceled() {
+				return
+			}
+			e.Run(s) //nolint:errcheck // errors surface on the ordered pass
+		}
+		return
+	}
+	jobs := make(chan Spec)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				if canceled() {
+					continue // drain without running
+				}
+				e.Run(s) //nolint:errcheck // errors surface on the ordered pass
+			}
+		}()
+	}
+	for _, s := range unique {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Sweep executes every spec across the worker pool and returns results
+// in spec order. The returned error joins every distinct run failure
+// (in spec order); results at failed positions are zero.
+func (e *Engine) Sweep(specs []Spec) ([]core.Result, error) {
+	e.prefetch(specs, nil)
+	out := make([]core.Result, len(specs))
+	var errs []error
+	seenErr := map[string]bool{}
+	for i, s := range specs {
+		res, err := e.Run(s) // cache hit: prefetch completed every key
+		out[i] = res
+		if err != nil && !seenErr[s.Key()] {
+			seenErr[s.Key()] = true
+			errs = append(errs, err)
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// Stream executes every spec across the worker pool and writes one
+// JSON-lines record per spec to w, in spec order, emitting each record
+// as soon as it and all its predecessors have finished. Run failures
+// become error records (and are joined into the returned error); a
+// write failure aborts the stream, cancelling the runs not yet started.
+func (e *Engine) Stream(w io.Writer, specs []Spec) error {
+	var cancel atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.prefetch(specs, &cancel)
+	}()
+	enc := json.NewEncoder(w)
+	var errs []error
+	seenErr := map[string]bool{}
+	for _, s := range specs {
+		res, err := e.Run(s) // blocks until this spec's result is final
+		if err != nil && !seenErr[s.Key()] {
+			seenErr[s.Key()] = true
+			errs = append(errs, err)
+		}
+		if werr := enc.Encode(RecordOf(s, res, err)); werr != nil {
+			cancel.Store(true)
+			<-done
+			return werr
+		}
+	}
+	<-done
+	return errors.Join(errs...)
+}

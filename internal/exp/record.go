@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/stats"
+)
+
+// Record is one JSON-lines measurement: the spec that identifies the
+// run plus the timed-region observables. Field order is the wire
+// order; encoding/json renders structs deterministically (and sorts
+// the queue_kind_ns map keys), so a record's bytes depend only on its
+// values — the foundation of the sweep engine's byte-identical output
+// guarantee.
+type Record struct {
+	Spec
+
+	// TimeNanos is the timed-region elapsed virtual time, exact.
+	TimeNanos int64 `json:"time_ns"`
+	// TimeSeconds is the same duration in float seconds, for plotting.
+	TimeSeconds float64 `json:"time_seconds"`
+	// Msgs and Bytes are the Table 2/3 traffic totals.
+	Msgs  int64 `json:"msgs"`
+	Bytes int64 `json:"bytes"`
+	// Checksum is the run's numerical result.
+	Checksum float64 `json:"checksum"`
+
+	// Overhead attribution (DSM versions only), in virtual nanoseconds
+	// summed over application processes.
+	FaultNanos int64 `json:"fault_ns,omitempty"`
+	SyncNanos  int64 `json:"sync_ns,omitempty"`
+	WriteNanos int64 `json:"write_ns,omitempty"`
+
+	// Contention queueing delay, total and split by the binding
+	// resource; zero (omitted) when the contention model is off.
+	QueueNanos          int64 `json:"queue_ns,omitempty"`
+	QueuedMsgs          int64 `json:"queued_msgs,omitempty"`
+	QueueOutNanos       int64 `json:"queue_out_ns,omitempty"`
+	QueueInNanos        int64 `json:"queue_in_ns,omitempty"`
+	QueueBackplaneNanos int64 `json:"queue_backplane_ns,omitempty"`
+	// QueueKindNanos splits the queueing delay by traffic category
+	// (barrier storms vs page fetches vs data shifts).
+	QueueKindNanos map[string]int64 `json:"queue_kind_ns,omitempty"`
+
+	// Error carries a run failure; all measurement fields are zero.
+	Error string `json:"error,omitempty"`
+}
+
+// RecordOf renders a completed run as a record. On error the record
+// carries only the spec and the error string.
+func RecordOf(s Spec, res core.Result, err error) Record {
+	rec := Record{Spec: s}
+	if err != nil {
+		rec.Error = err.Error()
+		return rec
+	}
+	rec.TimeNanos = int64(res.Time)
+	rec.TimeSeconds = res.Time.Seconds()
+	rec.Msgs = res.Stats.TotalMsgs()
+	rec.Bytes = res.Stats.TotalBytes()
+	rec.Checksum = res.Checksum
+	rec.FaultNanos = int64(res.FaultTime)
+	rec.SyncNanos = int64(res.SyncTime)
+	rec.WriteNanos = int64(res.WriteTime)
+	rec.QueueNanos = res.Stats.TotalQueueNanos()
+	rec.QueuedMsgs = res.Stats.TotalQueuedMsgs()
+	rec.QueueOutNanos = res.Stats.QueueResNanosOf(stats.QueueOut)
+	rec.QueueInNanos = res.Stats.QueueResNanosOf(stats.QueueIn)
+	rec.QueueBackplaneNanos = res.Stats.QueueResNanosOf(stats.QueueBackplane)
+	for _, k := range stats.AllKinds() {
+		if n := res.Stats.QueueKindNanosOf(k); n != 0 {
+			if rec.QueueKindNanos == nil {
+				rec.QueueKindNanos = map[string]int64{}
+			}
+			rec.QueueKindNanos[k.String()] = n
+		}
+	}
+	return rec
+}
+
+// Validate checks a record against the JSON-lines schema: a coherent
+// spec, non-negative measurements, internally consistent queue splits.
+// Error records validate when they carry a spec and an error string.
+func (r Record) Validate() error {
+	if err := r.Spec.Validate(); err != nil {
+		return err
+	}
+	if r.Error != "" {
+		return nil
+	}
+	if r.TimeNanos < 0 || r.Msgs < 0 || r.Bytes < 0 {
+		return fmt.Errorf("exp: negative measurement in record %s", r.Key())
+	}
+	if math.Abs(r.TimeSeconds-float64(r.TimeNanos)/1e9) > 1e-6 {
+		return fmt.Errorf("exp: time_seconds %g disagrees with time_ns %d", r.TimeSeconds, r.TimeNanos)
+	}
+	if math.IsNaN(r.Checksum) || math.IsInf(r.Checksum, 0) {
+		return fmt.Errorf("exp: non-finite checksum in record %s", r.Key())
+	}
+	if r.FaultNanos < 0 || r.SyncNanos < 0 || r.WriteNanos < 0 {
+		return fmt.Errorf("exp: negative overhead attribution in record %s", r.Key())
+	}
+	if r.QueueNanos < 0 || r.QueuedMsgs < 0 {
+		return fmt.Errorf("exp: negative queue totals in record %s", r.Key())
+	}
+	if sum := r.QueueOutNanos + r.QueueInNanos + r.QueueBackplaneNanos; sum != r.QueueNanos {
+		return fmt.Errorf("exp: queue resource split %d != total %d in record %s", sum, r.QueueNanos, r.Key())
+	}
+	var kindSum int64
+	for k, n := range r.QueueKindNanos {
+		if _, ok := kindByName(k); !ok {
+			return fmt.Errorf("exp: unknown traffic kind %q in record %s", k, r.Key())
+		}
+		kindSum += n
+	}
+	if kindSum != r.QueueNanos {
+		return fmt.Errorf("exp: queue kind split %d != total %d in record %s", kindSum, r.QueueNanos, r.Key())
+	}
+	if r.Contention == 0 && r.QueueNanos != 0 {
+		return fmt.Errorf("exp: queueing delay without contention in record %s", r.Key())
+	}
+	if _, err := AppByName(r.App); err != nil {
+		return err
+	}
+	if _, err := proto.Parse(string(r.Protocol)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// kindByName resolves a traffic-category name.
+func kindByName(name string) (stats.Kind, bool) {
+	for _, k := range stats.AllKinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// ValidateLine parses one JSON-lines record strictly (unknown fields
+// rejected) and validates it. It is the schema check the CI sweep
+// smoke job and cmd/sweeplint apply to engine output.
+func ValidateLine(line []byte) (Record, error) {
+	var rec Record
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, fmt.Errorf("exp: malformed record: %v", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/apps/fft3d"
+	"repro/internal/apps/igrid"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/mgs"
+	"repro/internal/apps/nbf"
+	"repro/internal/apps/rbsor"
+	"repro/internal/apps/shallow"
+	"repro/internal/core"
+)
+
+// PaperApps returns the six applications in the paper's order.
+func PaperApps() []core.App {
+	return []core.App{
+		jacobi.New(), shallow.New(), mgs.New(), fft3d.New(),
+		igrid.New(), nbf.New(),
+	}
+}
+
+// Apps returns every application: the paper's six plus the kernels
+// added through the internal/loopc compiler front end.
+func Apps() []core.App {
+	return append(PaperApps(), rbsor.New())
+}
+
+// AppByName finds an application (including the non-paper kernels).
+func AppByName(name string) (core.App, error) {
+	for _, a := range Apps() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("exp: unknown application %q", name)
+}
+
+// AppNames lists every application name in registry order.
+func AppNames() []string {
+	var out []string
+	for _, a := range Apps() {
+		out = append(out, a.Name())
+	}
+	return out
+}

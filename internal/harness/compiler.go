@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps/jacobi"
 	"repro/internal/apps/rbsor"
 	"repro/internal/core"
+	"repro/internal/exp"
 )
 
 // The compiler experiment: for every kernel expressed in the
@@ -33,29 +34,34 @@ func CompiledPairs() [][2]core.Version {
 
 // Compiler prints the compiled-vs-hand comparison and verifies the
 // result equivalence as it goes: a checksum divergence is an error,
-// not a table entry.
+// not a table entry. The hand/generated grid sweeps through the engine
+// up front.
 func Compiler(w io.Writer, r *Runner) error {
+	var specs []exp.Spec
+	for _, a := range CompiledApps() {
+		for _, pair := range CompiledPairs() {
+			specs = append(specs, r.Spec(a.Name(), pair[0]), r.Spec(a.Name(), pair[1]))
+		}
+	}
+	res, err := r.results(specs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "Compiler front end: hand-coded vs loopc-generated versions (%d procs)%s\n",
 		r.Procs, scaleNote(r.Scale))
 	fmt.Fprintf(w, "%-9s %-9s | %13s | %9s | %8s | %s\n", "App", "version", "time", "msgs", "KB", "checksum")
 	fmt.Fprintln(w, "-------------------------------------------------------------------------")
 	for _, a := range CompiledApps() {
 		for _, pair := range CompiledPairs() {
-			hand, err := r.Run(a, pair[0])
-			if err != nil {
-				return err
-			}
-			gen, err := r.Run(a, pair[1])
-			if err != nil {
-				return err
-			}
+			hand := res[r.Spec(a.Name(), pair[0]).Key()]
+			gen := res[r.Spec(a.Name(), pair[1]).Key()]
 			if gen.Checksum != hand.Checksum {
 				return fmt.Errorf("compiler divergence: %s: %s checksum %g != %s checksum %g",
 					a.Name(), pair[1], gen.Checksum, pair[0], hand.Checksum)
 			}
-			for _, res := range []core.Result{hand, gen} {
+			for _, re := range []core.Result{hand, gen} {
 				fmt.Fprintf(w, "%-9s %-9s | %13v | %9d | %8d | %g\n",
-					a.Name(), res.Version, res.Time, res.Stats.TotalMsgs(), res.Stats.TotalKB(), res.Checksum)
+					a.Name(), re.Version, re.Time, re.Stats.TotalMsgs(), re.Stats.TotalKB(), re.Checksum)
 			}
 		}
 	}

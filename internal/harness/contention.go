@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/proto"
 )
 
@@ -48,17 +49,41 @@ func contentionLabel(ways int) string {
 
 // contendedSub derives a runner at the given node count, protocol and
 // contention point, overriding whatever contention setting the parent
-// runner carries while keeping its other calibrations.
+// runner carries while keeping its other calibrations (and its engine).
 func (r *Runner) contendedSub(procs int, p proto.Name, ways int) *Runner {
 	nr := r.sub(procs, p)
 	nr.Costs = nr.Costs.WithContention(ways)
 	return nr
 }
 
+// ContentionSpec renders one (app, version, procs, protocol, sweep
+// point) run.
+func (r *Runner) ContentionSpec(a core.App, v core.Version, procs int, p proto.Name, ways int) exp.Spec {
+	return r.contendedSub(procs, p, ways).Spec(a.Name(), v)
+}
+
 // ContentionRun executes one (app, version, procs, protocol, sweep
 // point) run.
 func (r *Runner) ContentionRun(a core.App, v core.Version, procs int, p proto.Name, ways int) (core.Result, error) {
-	return r.contendedSub(procs, p, ways).Run(a, v)
+	return r.Engine().Run(r.ContentionSpec(a, v, procs, p, ways))
+}
+
+// contentionColumns are the per-row runs of the contention table.
+func contentionColumns(v core.Version) []struct {
+	col  string
+	ver  core.Version
+	prot proto.Name
+} {
+	return []struct {
+		col  string
+		ver  core.Version
+		prot proto.Name
+	}{
+		{"tmk/lrc", v, proto.HomelessLRC},
+		{"tmk/hlrc", v, proto.HomeLRC},
+		{"xhpf", core.XHPF, ""},
+		{"pvme", core.PVMe, ""},
+	}
 }
 
 // Contention prints the contention sweep. Per row (app, procs, sweep
@@ -66,8 +91,27 @@ func (r *Runner) ContentionRun(a core.App, v core.Version, procs int, p proto.Na
 // hand-coded TreadMarks version under both protocols, XHPF, and PVMe.
 // Checksums must not depend on the contention point — queueing delays
 // messages but never reorders matching ones — so any divergence from
-// the ideal-interconnect run is an error, not a table entry.
+// the ideal-interconnect run is an error, not a table entry. The full
+// grid sweeps through the engine up front.
 func Contention(w io.Writer, r *Runner) error {
+	var specs []exp.Spec
+	for _, name := range ContentionApps {
+		a, err := AppByName(name)
+		if err != nil {
+			return err
+		}
+		v := DSMVersionOf(a)
+		for _, procs := range ContentionProcCounts {
+			for _, ways := range ContentionSweep {
+				for _, c := range contentionColumns(v) {
+					specs = append(specs, r.ContentionSpec(a, c.ver, procs, c.prot, ways))
+				}
+			}
+		}
+	}
+	if _, err := r.Sweep(specs); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "Network contention: serial NICs + backplane sweep%s\n", scaleNote(r.Scale))
 	fmt.Fprintf(w, "%-7s %5s %-8s |", "App", "procs", "switch")
 	cols := []string{"tmk/lrc", "tmk/hlrc", "xhpf", "pvme"}
@@ -86,17 +130,7 @@ func Contention(w io.Writer, r *Runner) error {
 			baseline := map[string]float64{}
 			for _, ways := range ContentionSweep {
 				fmt.Fprintf(w, "%-7s %5d %-8s |", name, procs, contentionLabel(ways))
-				runs := []struct {
-					col  string
-					ver  core.Version
-					prot proto.Name
-				}{
-					{"tmk/lrc", v, proto.HomelessLRC},
-					{"tmk/hlrc", v, proto.HomeLRC},
-					{"xhpf", core.XHPF, ""},
-					{"pvme", core.PVMe, ""},
-				}
-				for _, c := range runs {
+				for _, c := range contentionColumns(v) {
 					res, err := r.ContentionRun(a, c.ver, procs, c.prot, ways)
 					if err != nil {
 						return fmt.Errorf("%s/%s procs=%d %s: %w", name, c.ver, procs, contentionLabel(ways), err)

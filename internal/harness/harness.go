@@ -3,66 +3,52 @@ package harness
 import (
 	"fmt"
 	"io"
-	"sort"
 
-	"repro/internal/apps/fft3d"
-	"repro/internal/apps/igrid"
-	"repro/internal/apps/jacobi"
-	"repro/internal/apps/mgs"
-	"repro/internal/apps/nbf"
-	"repro/internal/apps/rbsor"
-	"repro/internal/apps/shallow"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/model"
 	"repro/internal/proto"
 )
 
 // Apps returns the six applications in the paper's order.
-func Apps() []core.App {
-	return []core.App{
-		jacobi.New(), shallow.New(), mgs.New(), fft3d.New(),
-		igrid.New(), nbf.New(),
-	}
-}
+func Apps() []core.App { return exp.PaperApps() }
 
 // AllApps returns every application: the paper's six plus the kernels
 // added through the internal/loopc compiler front end (the paper
 // tables iterate Apps; version-level experiments iterate these).
-func AllApps() []core.App {
-	return append(Apps(), rbsor.New())
-}
+func AllApps() []core.App { return exp.Apps() }
 
 // AppByName finds an application (including the non-paper kernels).
-func AppByName(name string) (core.App, error) {
-	for _, a := range AllApps() {
-		if a.Name() == name {
-			return a, nil
-		}
-	}
-	return nil, fmt.Errorf("harness: unknown application %q", name)
-}
+func AppByName(name string) (core.App, error) { return exp.AppByName(name) }
 
-// Scale selects the problem sizes.
-type Scale string
+// Scale selects the problem sizes. It is core.Scale: sizing lives with
+// the applications (core.App.Config), not in a harness table.
+type Scale = core.Scale
 
 const (
 	// PaperScale runs Table 1's data sets.
-	PaperScale Scale = "paper"
+	PaperScale = core.PaperScale
 	// MidScale runs reduced sizes that preserve the page-granularity
 	// regime (rows/vectors of at least a page) at a fraction of the time.
-	MidScale Scale = "mid"
+	MidScale = core.MidScale
 	// SmallScale runs the tiny test sizes.
-	SmallScale Scale = "small"
+	SmallScale = core.SmallScale
 )
 
-// Runner executes and caches application runs.
+// Runner is a thin client of the internal/exp engine: it pins the
+// default processor count, scale, calibration and protocol, renders
+// specs for the experiments below, and shares one concurrency-safe
+// result cache across every table and sub-runner.
 type Runner struct {
 	Procs    int
 	Scale    Scale
 	Costs    model.Costs
 	App      model.AppCosts
 	Protocol proto.Name // DSM coherence protocol (empty: homeless LRC)
-	cache    map[string]core.Result
+	// Workers bounds the engine's worker pool (0: all host cores).
+	Workers int
+
+	eng *exp.Engine
 }
 
 // NewRunner builds a Runner with the calibrated SP/2 model.
@@ -72,62 +58,66 @@ func NewRunner(procs int, scale Scale) *Runner {
 		Scale: scale,
 		Costs: model.SP2(),
 		App:   model.DefaultAppCosts(),
-		cache: map[string]core.Result{},
 	}
 }
 
-// Config resolves the run configuration for an application.
-func (r *Runner) Config(app core.App, procs int) core.Config {
-	var cfg core.Config
-	switch r.Scale {
-	case SmallScale:
-		cfg = app.SmallConfig(procs)
-	case MidScale:
-		cfg = app.PaperConfig(procs)
-		switch app.Name() {
-		case "Jacobi":
-			cfg.N1, cfg.Iters = 1024, 20
-		case "Shallow":
-			cfg.N1, cfg.Iters = 512, 10
-		case "MGS":
-			// MGS must keep the paper's vector-equals-page geometry: at
-			// any narrower width two cyclically owned vectors share a page
-			// and false sharing swamps the comparison.
-			cfg.N1, cfg.Iters = 1024, 1024
-		case "3-D FFT":
-			cfg.N1, cfg.N2, cfg.N3, cfg.Iters = 64, 64, 32, 3
-		case "IGrid":
-			cfg.N1, cfg.Iters = 500, 10
-		case "NBF":
-			cfg.N1, cfg.N2, cfg.N3, cfg.Iters = 8192, 256, 50, 8
-		case "RB-SOR":
-			cfg.N1, cfg.Iters = 1024, 20
-		}
-	default:
-		cfg = app.PaperConfig(procs)
+// Engine returns the runner's sweep engine, building it from the
+// runner's calibration on first use. Set Costs, App and Workers before
+// the first run; afterwards the calibration is frozen (the cache is
+// keyed by spec alone).
+func (r *Runner) Engine() *exp.Engine {
+	if r.eng == nil {
+		r.eng = exp.NewEngine(r.Costs, r.App)
+		r.eng.Workers = r.Workers
 	}
-	cfg.Costs = r.Costs
-	cfg.App = r.App
-	cfg.Protocol = r.Protocol
-	return cfg
+	return r.eng
+}
+
+// Spec renders the runner's identity for one (application, version)
+// at the runner's processor count.
+func (r *Runner) Spec(appName string, v core.Version) exp.Spec {
+	return r.SpecAt(appName, v, r.Procs)
+}
+
+// SpecAt renders the runner's identity at an explicit processor count.
+func (r *Runner) SpecAt(appName string, v core.Version, procs int) exp.Spec {
+	s := exp.Spec{
+		App: appName, Version: v, Procs: procs, Scale: r.Scale,
+		Protocol: r.Protocol, Contention: r.Costs.Contention(),
+		FIFO: r.Costs.FIFOPairs,
+	}
+	return s.Normalize()
+}
+
+// Config resolves the run configuration for an application (exposed
+// for programs that drive app.Run directly, e.g. the examples).
+func (r *Runner) Config(app core.App, procs int) core.Config {
+	return r.Engine().Config(app, r.SpecAt(app.Name(), "", procs))
 }
 
 // Run executes (and caches) one version of an application.
 func (r *Runner) Run(app core.App, v core.Version) (core.Result, error) {
-	procs := r.Procs
-	if v == core.Seq {
-		procs = 1
-	}
-	key := fmt.Sprintf("%s/%s/%d/%s/%s", app.Name(), v, procs, r.Scale, r.Protocol)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	res, err := app.Run(v, r.Config(app, procs))
+	return r.Engine().Run(r.Spec(app.Name(), v))
+}
+
+// Sweep executes every spec across the worker pool, returning results
+// in spec order (see exp.Engine.Sweep). Experiments use it to fan a
+// whole table's grid out over host cores before rendering.
+func (r *Runner) Sweep(specs []exp.Spec) ([]core.Result, error) {
+	return r.Engine().Sweep(specs)
+}
+
+// results sweeps the specs and indexes the outcome by spec key.
+func (r *Runner) results(specs []exp.Spec) (map[string]core.Result, error) {
+	out, err := r.Sweep(specs)
 	if err != nil {
-		return core.Result{}, fmt.Errorf("%s/%s: %w", app.Name(), v, err)
+		return nil, err
 	}
-	r.cache[key] = res
-	return res, nil
+	m := make(map[string]core.Result, len(specs))
+	for i, s := range specs {
+		m[s.Key()] = out[i]
+	}
+	return m, nil
 }
 
 // Speedup runs the version and its sequential baseline.
@@ -143,6 +133,9 @@ func (r *Runner) Speedup(app core.App, v core.Version) (float64, error) {
 	return res.Speedup(seq.Time), nil
 }
 
+// CachedKeys lists completed runs (for progress reporting).
+func (r *Runner) CachedKeys() []string { return r.Engine().CachedKeys() }
+
 func scaleNote(s Scale) string {
 	if s == PaperScale {
 		return ""
@@ -152,14 +145,19 @@ func scaleNote(s Scale) string {
 
 // Table1 prints data-set sizes and sequential times (paper Table 1).
 func Table1(w io.Writer, r *Runner) error {
+	var specs []exp.Spec
+	for _, a := range Apps() {
+		specs = append(specs, r.Spec(a.Name(), core.Seq))
+	}
+	res, err := r.results(specs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "Table 1: Data Set Sizes and Sequential Execution Time%s\n", scaleNote(r.Scale))
 	fmt.Fprintf(w, "%-9s | %-28s | %10s | %10s\n", "App", "Problem Size", "paper (s)", "meas (s)")
 	fmt.Fprintln(w, "----------------------------------------------------------------------")
 	for _, a := range Apps() {
-		seq, err := r.Run(a, core.Seq)
-		if err != nil {
-			return err
-		}
+		seq := res[r.Spec(a.Name(), core.Seq).Key()]
 		note := ""
 		if SeqEstimated[a.Name()] {
 			note = "*"
@@ -171,7 +169,26 @@ func Table1(w io.Writer, r *Runner) error {
 	return nil
 }
 
+// figureSpecs is the grid behind Figures 1/2 and Tables 2/3: every
+// figure version of every listed application, plus the sequential
+// baselines the speedups divide by.
+func (r *Runner) figureSpecs(apps []string) []exp.Spec {
+	axes := exp.Axes{Apps: apps, Versions: FigureVersions}
+	specs := axes.Specs(r.Spec("", ""))
+	for i := range specs {
+		specs[i] = specs[i].Normalize()
+	}
+	for _, name := range apps {
+		specs = append(specs, r.Spec(name, core.Seq))
+	}
+	return specs
+}
+
 func figure(w io.Writer, r *Runner, title string, apps []string) error {
+	res, err := r.results(r.figureSpecs(apps))
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%s%s\n", title, scaleNote(r.Scale))
 	fmt.Fprintf(w, "%-9s |", "App")
 	for _, v := range FigureVersions {
@@ -180,16 +197,10 @@ func figure(w io.Writer, r *Runner, title string, apps []string) error {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "---------------------------------------------------------------------------------------------------")
 	for _, name := range apps {
-		a, err := AppByName(name)
-		if err != nil {
-			return err
-		}
+		seq := res[r.Spec(name, core.Seq).Key()]
 		fmt.Fprintf(w, "%-9s |", name)
 		for _, v := range FigureVersions {
-			sp, err := r.Speedup(a, v)
-			if err != nil {
-				return err
-			}
+			sp := res[r.Spec(name, v).Key()].Speedup(seq.Time)
 			paper := PaperSpeedup[name][v]
 			if paper == 0 {
 				fmt.Fprintf(w, " %9s %6.2f    |", "-", sp)
@@ -213,6 +224,10 @@ func Figure2(w io.Writer, r *Runner) error {
 }
 
 func traffic(w io.Writer, r *Runner, title string, apps []string) error {
+	res, err := r.results(r.figureSpecs(apps))
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%s%s\n", title, scaleNote(r.Scale))
 	fmt.Fprintf(w, "%-9s %-5s |", "App", "")
 	for _, v := range FigureVersions {
@@ -221,26 +236,16 @@ func traffic(w io.Writer, r *Runner, title string, apps []string) error {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "-----------------------------------------------------------------------------------------------------------")
 	for _, name := range apps {
-		a, err := AppByName(name)
-		if err != nil {
-			return err
-		}
 		fmt.Fprintf(w, "%-9s %-5s |", name, "msgs")
 		for _, v := range FigureVersions {
-			res, err := r.Run(a, v)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, " %11d %11d |", PaperMsgs[name][v], res.Stats.TotalMsgs())
+			rr := res[r.Spec(name, v).Key()]
+			fmt.Fprintf(w, " %11d %11d |", PaperMsgs[name][v], rr.Stats.TotalMsgs())
 		}
 		fmt.Fprintln(w)
 		fmt.Fprintf(w, "%-9s %-5s |", "", "KB")
 		for _, v := range FigureVersions {
-			res, err := r.Run(a, v)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, " %11d %11d |", PaperKB[name][v], res.Stats.TotalKB())
+			rr := res[r.Spec(name, v).Key()]
+			fmt.Fprintf(w, " %11d %11d |", PaperKB[name][v], rr.Stats.TotalKB())
 		}
 		fmt.Fprintln(w)
 	}
@@ -275,22 +280,24 @@ var handOptCases = []handOptCase{
 
 // HandOpt prints the §5 hand-optimization results.
 func HandOpt(w io.Writer, r *Runner) error {
+	var specs []exp.Spec
+	for _, c := range handOptCases {
+		specs = append(specs,
+			r.Spec(c.app, core.Seq),
+			r.Spec(c.app, c.baseline),
+			r.Spec(c.app, c.opt))
+	}
+	res, err := r.results(specs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "Section 5 hand optimizations (paper vs measured speedup)%s\n", scaleNote(r.Scale))
 	fmt.Fprintf(w, "%-9s | %-34s | %19s | %19s\n", "App", "Optimization", "before (p)    (m)", "after (p)    (m)")
 	fmt.Fprintln(w, "---------------------------------------------------------------------------------------------")
 	for _, c := range handOptCases {
-		a, err := AppByName(c.app)
-		if err != nil {
-			return err
-		}
-		before, err := r.Speedup(a, c.baseline)
-		if err != nil {
-			return err
-		}
-		after, err := r.Speedup(a, c.opt)
-		if err != nil {
-			return err
-		}
+		seq := res[r.Spec(c.app, core.Seq).Key()]
+		before := res[r.Spec(c.app, c.baseline).Key()].Speedup(seq.Time)
+		after := res[r.Spec(c.app, c.opt).Key()].Speedup(seq.Time)
 		fmt.Fprintf(w, "%-9s | %-34s | %8.2f %9.2f | %8.2f %9.2f\n",
 			c.app, c.note, PaperSpeedup[c.app][c.baseline], before, c.paperTo, after)
 	}
@@ -301,23 +308,19 @@ func HandOpt(w io.Writer, r *Runner) error {
 // fork-join interface (2(n-1) messages per loop) against the original
 // (8(n-1)), measured on Jacobi.
 func Interface(w io.Writer, r *Runner) error {
+	specs := []exp.Spec{
+		r.Spec("Jacobi", core.Seq),
+		r.Spec("Jacobi", core.SPFOld),
+		r.Spec("Jacobi", core.SPF),
+	}
+	res, err := r.results(specs)
+	if err != nil {
+		return err
+	}
+	seq := res[specs[0].Key()]
+	old := res[specs[1].Key()]
+	improved := res[specs[2].Key()]
 	fmt.Fprintf(w, "Section 2.3 interface ablation (Jacobi)%s\n", scaleNote(r.Scale))
-	a, err := AppByName("Jacobi")
-	if err != nil {
-		return err
-	}
-	improved, err := r.Run(a, core.SPF)
-	if err != nil {
-		return err
-	}
-	old, err := r.Run(a, core.SPFOld)
-	if err != nil {
-		return err
-	}
-	seq, err := r.Run(a, core.Seq)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "%-20s | %10s | %10s | %8s\n", "Interface", "msgs", "time (s)", "speedup")
 	fmt.Fprintln(w, "--------------------------------------------------------")
 	fmt.Fprintf(w, "%-20s | %10d | %10.2f | %8.2f\n", "original (8(n-1))", old.Stats.TotalMsgs(), old.Time.Seconds(), old.Speedup(seq.Time))
@@ -350,25 +353,23 @@ func All(w io.Writer, r *Runner) error {
 	return nil
 }
 
-// CachedKeys lists completed runs (for progress reporting).
-func (r *Runner) CachedKeys() []string {
-	keys := make([]string, 0, len(r.cache))
-	for k := range r.cache {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
 // Scalability sweeps the processor count for one application and prints
 // the speedup curve of every version — the paper's §8 closes by
 // anticipating behaviour "when scaling to a large number of processors";
 // this experiment extends the evaluation in that direction.
 func Scalability(w io.Writer, r *Runner, appName string, procCounts []int) error {
-	a, err := AppByName(appName)
+	var specs []exp.Spec
+	specs = append(specs, r.Spec(appName, core.Seq))
+	for _, p := range procCounts {
+		for _, v := range FigureVersions {
+			specs = append(specs, r.SpecAt(appName, v, p))
+		}
+	}
+	res, err := r.results(specs)
 	if err != nil {
 		return err
 	}
+	seq := res[r.Spec(appName, core.Seq).Key()]
 	fmt.Fprintf(w, "Scalability: %s speedups by processor count%s\n", appName, scaleNote(r.Scale))
 	fmt.Fprintf(w, "%-6s |", "procs")
 	for _, v := range FigureVersions {
@@ -377,15 +378,9 @@ func Scalability(w io.Writer, r *Runner, appName string, procCounts []int) error
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "--------------------------------------------------")
 	for _, p := range procCounts {
-		sub := NewRunner(p, r.Scale)
-		sub.Costs, sub.App = r.Costs, r.App
 		fmt.Fprintf(w, "%-6d |", p)
 		for _, v := range FigureVersions {
-			sp, err := sub.Speedup(a, v)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, " %8.2f |", sp)
+			fmt.Fprintf(w, " %8.2f |", res[r.SpecAt(appName, v, p).Key()].Speedup(seq.Time))
 		}
 		fmt.Fprintln(w)
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/proto"
 )
 
@@ -46,31 +47,50 @@ func DSMVersions(a core.App) []core.Version {
 }
 
 // sub derives a runner with the same calibration at a different node
-// count and protocol, sharing nothing (each owns its cache).
+// count and protocol. Sub-runners share the parent's engine — the
+// result cache is keyed by the full spec, so runs never collide and
+// every experiment reuses everything already computed.
 func (r *Runner) sub(procs int, p proto.Name) *Runner {
-	nr := NewRunner(procs, r.Scale)
-	nr.Costs, nr.App, nr.Protocol = r.Costs, r.App, p
-	return nr
+	return &Runner{
+		Procs: procs, Scale: r.Scale, Costs: r.Costs, App: r.App,
+		Protocol: p, Workers: r.Workers, eng: r.Engine(),
+	}
+}
+
+// ProtocolSpecs renders one (application, version, procs) run under
+// every protocol, in proto.Names() order.
+func (r *Runner) ProtocolSpecs(a core.App, v core.Version, procs int) []exp.Spec {
+	specs := make([]exp.Spec, 0, len(proto.Names()))
+	for _, p := range proto.Names() {
+		specs = append(specs, r.sub(procs, p).Spec(a.Name(), v))
+	}
+	return specs
 }
 
 // RunProtocols executes one (application, version, procs) run under
 // every protocol and returns the results in proto.Names() order.
 func (r *Runner) RunProtocols(a core.App, v core.Version, procs int) ([]core.Result, error) {
-	out := make([]core.Result, 0, len(proto.Names()))
-	for _, p := range proto.Names() {
-		res, err := r.sub(procs, p).Run(a, v)
-		if err != nil {
-			return nil, fmt.Errorf("%s under %s: %w", a.Name(), p, err)
-		}
-		out = append(out, res)
+	out, err := r.Sweep(r.ProtocolSpecs(a, v, procs))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name(), err)
 	}
 	return out, nil
 }
 
 // Protocols prints the protocol-comparison experiment and verifies the
 // cross-protocol result equivalence as it goes: a checksum divergence is
-// an error, not a table entry.
+// an error, not a table entry. The whole (app × procs × protocol) grid
+// is swept through the engine up front, saturating host cores.
 func Protocols(w io.Writer, r *Runner) error {
+	var specs []exp.Spec
+	for _, a := range Apps() {
+		for _, procs := range ProtocolProcCounts {
+			specs = append(specs, r.ProtocolSpecs(a, DSMVersionOf(a), procs)...)
+		}
+	}
+	if _, err := r.Sweep(specs); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "Protocol comparison: homeless LRC (lrc) vs home-based LRC (hlrc)%s\n", scaleNote(r.Scale))
 	fmt.Fprintf(w, "%-9s %-8s %5s |", "App", "version", "procs")
 	for _, p := range proto.Names() {

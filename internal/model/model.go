@@ -42,6 +42,13 @@ type Costs struct {
 	SerialNIC     bool
 	BackplaneWays int
 
+	// FIFOPairs opts in to non-overtaking delivery within each
+	// (src, dst) process pair, as the real PVMe/MPL transports
+	// guaranteed. Off by default: the infinite-capacity interconnect
+	// historically let a small message overtake a larger one in the
+	// same pair, and the golden virtual times pin that default.
+	FIFOPairs bool
+
 	// Message-passing library (PVMe/XHPF) data handling: packing data
 	// into and out of transmit buffers costs CPU per byte. PVM-family
 	// libraries were notorious for this; it is what keeps the large
@@ -118,6 +125,26 @@ func (c Costs) WithContention(ways int) Costs {
 	return c
 }
 
+// Contention reads back the shared contention encoding WithContention
+// applies: 0 when contention is off, -1 for serial NICs over an ideal
+// backplane, N > 0 for serial NICs plus an N-way backplane bound.
+func (c Costs) Contention() int {
+	if !c.SerialNIC {
+		return 0
+	}
+	if c.BackplaneWays > 0 {
+		return c.BackplaneWays
+	}
+	return -1
+}
+
+// WithFIFOPairs returns the calibration with non-overtaking
+// (src, dst)-pair delivery switched on or off.
+func (c Costs) WithFIFOPairs(on bool) Costs {
+	c.FIFOPairs = on
+	return c
+}
+
 // SimConfig renders the interconnect part of the cost model as a
 // simulator configuration for n processes, each on its own node.
 func (c Costs) SimConfig(procs int) sim.Config {
@@ -138,6 +165,7 @@ func (c Costs) SimConfigNodes(procs, nodes int) sim.Config {
 		RecvOverhead:  c.RecvOverhead,
 		HeaderBytes:   c.HeaderBytes,
 		BackplaneWays: c.BackplaneWays,
+		FIFOPairs:     c.FIFOPairs,
 	}
 	if c.SerialNIC {
 		cfg.Nodes = nodes

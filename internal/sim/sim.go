@@ -145,6 +145,16 @@ type Config struct {
 	// Zero models an ideal non-blocking crossbar.
 	BackplaneWays int
 
+	// FIFOPairs, when set, guarantees non-overtaking delivery within
+	// each (src, dst) process pair, as the real PVMe/MPL transports did:
+	// a message's delivery time is clamped to at least the delivery time
+	// of the pair's previous message, so a small message sent after a
+	// large one can no longer arrive first on the infinite-capacity
+	// interconnect. Ties preserve send order (the receiver breaks equal
+	// delivery times by send sequence). The default (off) reproduces the
+	// historical schedule bit for bit.
+	FIFOPairs bool
+
 	// Stats receives per-message accounting. Optional.
 	Stats *stats.Stats
 }
@@ -202,6 +212,11 @@ type Cluster struct {
 	outFree []Time
 	inFree  []Time
 	bpFree  Time
+
+	// FIFO-per-pair state (FIFOPairs): the delivery time of the last
+	// message accepted for each (src, dst) pair, indexed src*Procs+dst.
+	// Monotone per pair by construction.
+	pairLast []Time
 }
 
 // New creates a cluster with the given configuration.
@@ -224,6 +239,9 @@ func New(cfg Config) *Cluster {
 	if cfg.Nodes > 0 {
 		c.outFree = make([]Time, cfg.Nodes)
 		c.inFree = make([]Time, cfg.Nodes)
+	}
+	if cfg.FIFOPairs {
+		c.pairLast = make([]Time, cfg.Procs*cfg.Procs)
 	}
 	c.procs = make([]*Proc, cfg.Procs)
 	for i := range c.procs {
@@ -419,7 +437,20 @@ func (p *Proc) Send(dst, tag int, payload any, payloadBytes int, kind stats.Kind
 	c := p.c
 	wire := payloadBytes + c.cfg.HeaderBytes
 	wireT := Time(float64(wire) * c.cfg.NanosPerByte)
-	start, queued := c.admit(p.id, dst, wireT)
+	start, queued, binder := c.admit(p.id, dst, wireT)
+	deliver := start + c.cfg.Latency + wireT
+	if c.cfg.FIFOPairs {
+		// Non-overtaking within the (src, dst) pair: never deliver
+		// before the pair's previous message. Only this process's own
+		// earlier sends touch the pair slot, so the clamp is
+		// deterministic without any extra scheduling constraint, and
+		// delivery times stay monotone per pair.
+		pair := p.id*len(c.procs) + dst
+		if c.pairLast[pair] > deliver {
+			deliver = c.pairLast[pair]
+		}
+		c.pairLast[pair] = deliver
+	}
 	c.seq++
 	m := &Message{
 		Src:      p.id,
@@ -429,14 +460,14 @@ func (p *Proc) Send(dst, tag int, payload any, payloadBytes int, kind stats.Kind
 		Bytes:    wire,
 		Kind:     kind,
 		SendTime: p.clock,
-		Deliver:  start + c.cfg.Latency + wireT,
+		Deliver:  deliver,
 		Queued:   queued,
 		seq:      c.seq,
 	}
 	c.procs[dst].inbox = append(c.procs[dst].inbox, m)
 	c.stats.Record(kind, wire)
 	if queued > 0 {
-		c.stats.RecordQueue(c.NodeOf(p.id), int64(queued))
+		c.stats.RecordQueue(c.NodeOf(p.id), int64(queued), binder, kind)
 	}
 	// Keep the horizon honest under contention: this send may let dst
 	// act as early as m.Deliver, but the horizon handed to this process
@@ -456,9 +487,12 @@ func (p *Proc) Send(dst, tag int, payload any, payloadBytes int, kind stats.Kind
 // admit pushes a wireT-long transfer from proc src to proc dst through
 // the contention model at the sender's current clock. It returns the
 // time the transfer begins occupying the wire (== the sender's clock
-// when contention modeling is off or no resource is busy) and the
-// queueing delay, and marks the sender's outgoing link, the receiver's
-// incoming link and the backplane busy for the transfer.
+// when contention modeling is off or no resource is busy), the queueing
+// delay, and the binding resource — the one whose busy-until time set
+// the start (meaningful only when queued > 0; on ties the earliest
+// resource in path order out, in, backplane binds) — and marks the
+// sender's outgoing link, the receiver's incoming link and the
+// backplane busy for the transfer.
 //
 // The model is cut-through, in the spirit of the SP/2's wormhole-routed
 // two-level crossbar: once every resource on the path is free the
@@ -468,8 +502,9 @@ func (p *Proc) Send(dst, tag int, payload any, payloadBytes int, kind stats.Kind
 // FIFO: because sends are processed in nondecreasing send-time order,
 // busy-until times only move forward and messages through one link
 // transmit back-to-back in send order.
-func (c *Cluster) admit(src, dst int, wireT Time) (start, queued Time) {
+func (c *Cluster) admit(src, dst int, wireT Time) (start, queued Time, binder stats.QueueResource) {
 	start = c.procs[src].clock
+	binder = stats.QueueOut
 	nicOn := c.cfg.Nodes > 0
 	var sn, dn int
 	if nicOn {
@@ -478,17 +513,20 @@ func (c *Cluster) admit(src, dst int, wireT Time) (start, queued Time) {
 			// Loopback between processes of one node (e.g. an
 			// application process and its own request server) does not
 			// cross the NIC or the switch.
-			return start, 0
+			return start, 0, binder
 		}
 		if c.outFree[sn] > start {
 			start = c.outFree[sn]
+			binder = stats.QueueOut
 		}
 		if c.inFree[dn] > start {
 			start = c.inFree[dn]
+			binder = stats.QueueIn
 		}
 	}
 	if c.cfg.BackplaneWays > 0 && c.bpFree > start {
 		start = c.bpFree
+		binder = stats.QueueBackplane
 	}
 	if nicOn {
 		c.outFree[sn] = start + wireT
@@ -497,7 +535,7 @@ func (c *Cluster) admit(src, dst int, wireT Time) (start, queued Time) {
 	if c.cfg.BackplaneWays > 0 {
 		c.bpFree = start + wireT/Time(c.cfg.BackplaneWays)
 	}
-	return start, start - c.procs[src].clock
+	return start, start - c.procs[src].clock, binder
 }
 
 // minMatch returns the index of the earliest-delivered message matching

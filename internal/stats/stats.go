@@ -63,6 +63,42 @@ func (k Kind) Counted() bool { return k != KindShutdown }
 // slot (the simulator never runs that wide today).
 const MaxNodes = 64
 
+// QueueResource identifies the contention resource that bound a queued
+// message: the resource whose busy-until time set the transfer's start.
+type QueueResource uint8
+
+const (
+	// QueueOut is the sending node's outgoing NIC link.
+	QueueOut QueueResource = iota
+	// QueueIn is the receiving node's incoming NIC link.
+	QueueIn
+	// QueueBackplane is the shared switch backplane.
+	QueueBackplane
+	numQueueResources
+)
+
+var queueResourceNames = [numQueueResources]string{"out", "in", "backplane"}
+
+// String returns the lower-case resource name.
+func (r QueueResource) String() string {
+	if int(r) < len(queueResourceNames) {
+		return queueResourceNames[r]
+	}
+	return fmt.Sprintf("resource(%d)", uint8(r))
+}
+
+// NumQueueResources reports the number of binding resources.
+func NumQueueResources() int { return int(numQueueResources) }
+
+// AllQueueResources lists every binding resource in declaration order.
+func AllQueueResources() []QueueResource {
+	rs := make([]QueueResource, numQueueResources)
+	for i := range rs {
+		rs[i] = QueueResource(i)
+	}
+	return rs
+}
+
 // Stats holds per-kind message counts and byte totals, plus the
 // contention model's per-node queueing-delay accounting. The zero value
 // is ready to use. It is safe for single-threaded use only; the
@@ -78,6 +114,15 @@ type Stats struct {
 	// QueuedMsgs counts the messages per sending node that waited at
 	// all.
 	QueuedMsgs [MaxNodes]int64
+	// QueueResNanos splits each sending node's queueing delay by the
+	// binding resource — the one whose busy-until time the transfer
+	// actually waited on. A broadcast storm shows up on the sender's
+	// out link; a gather's root congestion shows up on in links; an
+	// undersized switch shows up on the backplane.
+	QueueResNanos [MaxNodes][numQueueResources]int64
+	// QueueKindNanos splits the total queueing delay by the message's
+	// traffic category, locating which protocol activity queued.
+	QueueKindNanos [numKinds]int64
 }
 
 // Record adds one message of kind k carrying the given number of bytes
@@ -87,9 +132,9 @@ func (s *Stats) Record(k Kind, bytes int) {
 	s.Bytes[k] += int64(bytes)
 }
 
-// RecordQueue adds contention queueing delay for one message sent by
-// the given node.
-func (s *Stats) RecordQueue(node int, nanos int64) {
+// RecordQueue adds contention queueing delay for one message of kind k
+// sent by the given node, attributed to the binding resource res.
+func (s *Stats) RecordQueue(node int, nanos int64, res QueueResource, k Kind) {
 	if node < 0 {
 		return
 	}
@@ -98,6 +143,12 @@ func (s *Stats) RecordQueue(node int, nanos int64) {
 	}
 	s.QueueNanos[node] += nanos
 	s.QueuedMsgs[node]++
+	if res < numQueueResources {
+		s.QueueResNanos[node][res] += nanos
+	}
+	if k < numKinds {
+		s.QueueKindNanos[k] += nanos
+	}
 }
 
 // QueueNanosOf returns the accumulated queueing delay of one node's
@@ -126,6 +177,37 @@ func (s *Stats) TotalQueuedMsgs() int64 {
 		t += v
 	}
 	return t
+}
+
+// QueueResNanosOf returns the queueing delay bound by one resource,
+// summed over all sending nodes.
+func (s *Stats) QueueResNanosOf(res QueueResource) int64 {
+	if res >= numQueueResources {
+		return 0
+	}
+	var t int64
+	for n := 0; n < MaxNodes; n++ {
+		t += s.QueueResNanos[n][res]
+	}
+	return t
+}
+
+// NodeQueueResNanos returns one node's queueing delay bound by one
+// resource.
+func (s *Stats) NodeQueueResNanos(node int, res QueueResource) int64 {
+	if node < 0 || node >= MaxNodes || res >= numQueueResources {
+		return 0
+	}
+	return s.QueueResNanos[node][res]
+}
+
+// QueueKindNanosOf returns the queueing delay accumulated by messages
+// of one traffic category.
+func (s *Stats) QueueKindNanosOf(k Kind) int64 {
+	if k >= numKinds {
+		return 0
+	}
+	return s.QueueKindNanos[k]
 }
 
 // Reset zeroes every counter. The harness calls this at the end of the
@@ -176,6 +258,12 @@ func (s *Stats) Add(o *Stats) {
 	for n := 0; n < MaxNodes; n++ {
 		s.QueueNanos[n] += o.QueueNanos[n]
 		s.QueuedMsgs[n] += o.QueuedMsgs[n]
+		for r := QueueResource(0); r < numQueueResources; r++ {
+			s.QueueResNanos[n][r] += o.QueueResNanos[n][r]
+		}
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		s.QueueKindNanos[k] += o.QueueKindNanos[k]
 	}
 }
 
@@ -189,6 +277,12 @@ func (s *Stats) Sub(o *Stats) {
 	for n := 0; n < MaxNodes; n++ {
 		s.QueueNanos[n] -= o.QueueNanos[n]
 		s.QueuedMsgs[n] -= o.QueuedMsgs[n]
+		for r := QueueResource(0); r < numQueueResources; r++ {
+			s.QueueResNanos[n][r] -= o.QueueResNanos[n][r]
+		}
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		s.QueueKindNanos[k] -= o.QueueKindNanos[k]
 	}
 }
 
@@ -203,6 +297,11 @@ func (s *Stats) String() string {
 	}
 	if q := s.TotalQueueNanos(); q != 0 {
 		fmt.Fprintf(&b, " queued=%d/%dns", s.TotalQueuedMsgs(), q)
+		for r := QueueResource(0); r < numQueueResources; r++ {
+			if n := s.QueueResNanosOf(r); n != 0 {
+				fmt.Fprintf(&b, " q.%s=%dns", r, n)
+			}
+		}
 	}
 	return b.String()
 }

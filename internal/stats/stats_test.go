@@ -117,3 +117,68 @@ func TestTotalsConsistentProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRecordQueueSplit(t *testing.T) {
+	var s Stats
+	s.RecordQueue(1, 100, QueueOut, KindData)
+	s.RecordQueue(1, 40, QueueIn, KindDiff)
+	s.RecordQueue(2, 60, QueueBackplane, KindData)
+	if got := s.TotalQueueNanos(); got != 200 {
+		t.Errorf("TotalQueueNanos = %d, want 200", got)
+	}
+	if got := s.TotalQueuedMsgs(); got != 3 {
+		t.Errorf("TotalQueuedMsgs = %d, want 3", got)
+	}
+	if got := s.QueueResNanosOf(QueueOut); got != 100 {
+		t.Errorf("QueueOut = %d, want 100", got)
+	}
+	if got := s.QueueResNanosOf(QueueIn); got != 40 {
+		t.Errorf("QueueIn = %d, want 40", got)
+	}
+	if got := s.QueueResNanosOf(QueueBackplane); got != 60 {
+		t.Errorf("QueueBackplane = %d, want 60", got)
+	}
+	if got := s.NodeQueueResNanos(1, QueueIn); got != 40 {
+		t.Errorf("node 1 QueueIn = %d, want 40", got)
+	}
+	if got := s.QueueKindNanosOf(KindData); got != 160 {
+		t.Errorf("KindData queue = %d, want 160", got)
+	}
+	if got := s.QueueKindNanosOf(KindDiff); got != 40 {
+		t.Errorf("KindDiff queue = %d, want 40", got)
+	}
+	// The resource split and the kind split each cover the total.
+	var byRes, byKind int64
+	for _, r := range AllQueueResources() {
+		byRes += s.QueueResNanosOf(r)
+	}
+	for _, k := range AllKinds() {
+		byKind += s.QueueKindNanosOf(k)
+	}
+	if byRes != 200 || byKind != 200 {
+		t.Errorf("splits cover %d (resource) / %d (kind), want 200 each", byRes, byKind)
+	}
+
+	// Add then Sub round-trips every new counter back to the original.
+	var o Stats
+	o.RecordQueue(1, 7, QueueOut, KindLock)
+	snap := s
+	s.Add(&o)
+	s.Sub(&o)
+	if s != snap {
+		t.Error("Add/Sub did not round-trip the queue split counters")
+	}
+}
+
+func TestQueueResourceNames(t *testing.T) {
+	want := []string{"out", "in", "backplane"}
+	rs := AllQueueResources()
+	if len(rs) != len(want) || NumQueueResources() != len(want) {
+		t.Fatalf("have %d resources, want %d", len(rs), len(want))
+	}
+	for i, r := range rs {
+		if r.String() != want[i] {
+			t.Errorf("resource %d = %q, want %q", i, r, want[i])
+		}
+	}
+}

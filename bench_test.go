@@ -235,6 +235,41 @@ func BenchmarkProtocolComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkHomePolicy sweeps hlrc's home-placement policies at 8 nodes
+// on the migration experiment's applications, reporting virtual time,
+// flush traffic (the bytes home placement can move) and whole-run home
+// migrations. At mid scale MGS's cyclic vectors are one page each, so
+// the adaptive policy repoints nearly every page to its owner and the
+// flush traffic collapses; Jacobi's and Shallow's block layouts already
+// match the static homes, and a good policy leaves them alone.
+func BenchmarkHomePolicy(b *testing.B) {
+	for _, name := range harness.MigrationApps {
+		a, err := harness.AppByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := harness.DSMVersionOf(a)
+		for _, pol := range proto.PolicyNames() {
+			b.Run(fmt.Sprintf("%s/%s/%s", name, v, pol), func(b *testing.B) {
+				r := harness.NewRunner(benchProcs, benchScale())
+				r.Protocol = proto.HomeLRC
+				r.HomePolicy = pol
+				var res core.Result
+				var err error
+				for i := 0; i < b.N; i++ {
+					res, err = r.Run(a, v)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.Time.Seconds()*1e3, "vtime-ms")
+				b.ReportMetric(float64(res.Stats.BytesOf(stats.KindDiff))/1024, "flush-KB")
+				b.ReportMetric(float64(res.Migrations), "migrations")
+			})
+		}
+	}
+}
+
 // BenchmarkContention sweeps the network-contention model at 8 nodes:
 // each application/runtime pair runs on the ideal infinite-capacity
 // interconnect, with serial NICs, and with the backplane bounded to one

@@ -6,7 +6,7 @@
 //
 // Single run:
 //
-//	dsmrun -app Jacobi -version tmk [-procs 8] [-scale mid] [-protocol lrc|hlrc] [-contention N] [-fifo] [-json]
+//	dsmrun -app Jacobi -version tmk [-procs 8] [-scale mid] [-protocol lrc|hlrc] [-homepolicy static|firsttouch|adaptive] [-contention N] [-fifo] [-json]
 //
 // Versions: seq, spf, tmk, xhpf, pvme, spf-opt, tmk-opt, spf-old,
 // spf-gen, xhpf-gen (availability varies by application; see -list).
@@ -15,6 +15,12 @@
 // protocol and the default) or hlrc (home-based LRC). The spf-gen and
 // xhpf-gen versions are compiled from the kernel's loop-nest IR by the
 // internal/loopc front end instead of being hand-written.
+//
+// -homepolicy selects hlrc's home-placement policy: static (block-wise
+// fixed homes, the default), firsttouch (a page's home moves to its
+// first faulting writer), or adaptive (a page's home migrates to the
+// writer dominating its flush traffic, with hysteresis). Migrating runs
+// additionally report home migrations and stale-home NACK activity.
 //
 // -contention enables the network-contention model: N > 0 serializes
 // each node's NIC and bounds the switch backplane to N concurrent
@@ -33,13 +39,16 @@
 //
 //	dsmrun -sweep "procs=1,2,4,8 protocol=lrc,hlrc" [-workers N]
 //	dsmrun -scale small -sweep app=Jacobi,RB-SOR version=tmk,xhpf procs=1,2
+//	dsmrun -scale small -sweep "app=MGS procs=2,4,8 protocol=hlrc homepolicy=static,adaptive" -speedup
 //
 // -sweep expands the cross-product of axis values (axes: app, version,
-// procs, scale, protocol, contention, fifo; remaining command-line
-// arguments are parsed as additional axes) over the base flags, runs
-// every point concurrently across host cores, and streams one
-// JSON-lines record per point to stdout — in cross-product order,
-// byte-identical regardless of -workers. Run failures become records
+// procs, scale, protocol, contention, fifo, homepolicy; remaining
+// command-line arguments are parsed as additional axes) over the base
+// flags, runs every point concurrently across host cores, and streams
+// one JSON-lines record per point to stdout — in cross-product order,
+// byte-identical regardless of -workers. -speedup joins every non-seq
+// record with its sequential baseline (seq_ns/seq_seconds/speedup
+// fields), so plots need no post-join. Run failures become records
 // with an "error" field and a non-zero exit status.
 package main
 
@@ -62,9 +71,11 @@ func main() {
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	scale := flag.String("scale", "mid", "problem scale: paper, mid, or small")
 	protocol := flag.String("protocol", "", "DSM coherence protocol: lrc (default) or hlrc")
+	homepolicy := flag.String("homepolicy", "", "hlrc home-placement policy: static (default), firsttouch, or adaptive")
 	contention := flag.Int("contention", 0, "network contention: 0 off, -1 serial NICs only, N>0 serial NICs + N-way backplane")
 	fifo := flag.Bool("fifo", false, "non-overtaking delivery within each (src, dst) pair")
 	asJSON := flag.Bool("json", false, "emit the run result as one JSON object")
+	speedup := flag.Bool("speedup", false, "join sweep records with their sequential baselines (seq_ns/speedup fields)")
 	sweep := flag.String("sweep", "", `sweep axes, e.g. "procs=1,2,4,8 protocol=lrc,hlrc" (emits JSON-lines)`)
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: all host cores)")
 	list := flag.Bool("list", false, "list applications and versions")
@@ -84,6 +95,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Unlike -protocol (resolved so output names what ran), an unset
+	// -homepolicy stays empty: the field is omitted from keys and
+	// records when empty, keeping pre-policy cache keys and cached
+	// sweep streams valid.
+	var polname proto.PolicyName
+	if *homepolicy != "" {
+		var err error
+		if polname, err = proto.ParsePolicy(*homepolicy); err != nil {
+			fatal(err)
+		}
+	}
 	if *contention < -1 {
 		fmt.Fprintf(os.Stderr, "dsmrun: invalid -contention %d (want 0, -1, or a positive backplane bound)\n", *contention)
 		os.Exit(2)
@@ -99,9 +121,11 @@ func main() {
 		Protocol:   pname,
 		Contention: *contention,
 		FIFO:       *fifo,
+		HomePolicy: polname,
 	}
 	eng := exp.New()
 	eng.Workers = *workers
+	eng.JoinSpeedup = *speedup
 
 	if *sweep != "" || flag.NArg() > 0 {
 		tokens := append(strings.Fields(*sweep), flag.Args()...)
@@ -126,9 +150,7 @@ func main() {
 	var seq core.Result
 	haveSeq := false
 	if base.Version != core.Seq {
-		seqSpec := base
-		seqSpec.Version = core.Seq
-		if seq, err = eng.Run(seqSpec.Normalize()); err == nil {
+		if seq, err = eng.Run(exp.SeqSpecOf(base)); err == nil {
 			haveSeq = true
 		}
 	}
@@ -141,6 +163,9 @@ func main() {
 	fmt.Printf("app=%s version=%s procs=%d scale=%s", res.App, res.Version, res.Procs, *scale)
 	if res.Protocol != "" {
 		fmt.Printf(" protocol=%s", res.Protocol)
+	}
+	if res.HomePolicy != "" && res.HomePolicy != proto.StaticPolicy {
+		fmt.Printf(" homepolicy=%s", res.HomePolicy)
 	}
 	fmt.Println()
 	fmt.Printf("time      = %v\n", res.Time)
@@ -157,26 +182,24 @@ func main() {
 		fmt.Printf("overheads = fault %v, sync %v, write-detect %v (summed over %d procs)\n",
 			res.FaultTime, res.SyncTime, res.WriteTime, res.Procs)
 	}
+	if res.Migrations+res.StaleForwards+res.RedirectedFlushBytes > 0 {
+		fmt.Printf("migration = %d home moves, %d stale-home NACKs, %d redirected flush bytes (whole run)\n",
+			res.Migrations, res.StaleForwards, res.RedirectedFlushBytes)
+	}
 	if haveSeq {
 		fmt.Printf("speedup   = %.2f (seq %v)\n", res.Speedup(seq.Time), seq.Time)
 	}
 }
 
-// printJSON emits the single-run record, extended with the sequential
+// printJSON emits the single-run record, joined with the sequential
 // baseline when one was computable (the sweep schema plus
-// seq_seconds/speedup).
+// seq_ns/seq_seconds/speedup).
 func printJSON(s exp.Spec, res, seq core.Result, haveSeq bool) {
 	rec := exp.RecordOf(s, res, nil)
-	out := struct {
-		exp.Record
-		SeqSeconds float64 `json:"seq_seconds,omitempty"`
-		Speedup    float64 `json:"speedup,omitempty"`
-	}{Record: rec}
 	if haveSeq {
-		out.SeqSeconds = seq.Time.Seconds()
-		out.Speedup = res.Speedup(seq.Time)
+		rec.JoinSeq(seq)
 	}
-	if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+	if err := json.NewEncoder(os.Stdout).Encode(rec); err != nil {
 		fatal(err)
 	}
 }

@@ -20,6 +20,12 @@
 // experiment (-only compiler) runs the internal/loopc-generated
 // spf-gen/xhpf-gen versions next to their hand-coded counterparts.
 //
+// The migration experiment (-only migration) sweeps the home-based
+// protocol's home-placement policies (static, firsttouch, adaptive) at
+// 1-8 nodes for MGS, Jacobi and Shallow, reporting flush traffic and
+// migration counts; -homepolicy selects the policy every *other*
+// experiment runs under when combined with -protocol hlrc.
+//
 // The contention experiment (-only contention) sweeps the serial-NIC /
 // backplane contention model at 1-8 nodes for Jacobi, IGrid and NBF
 // under both protocols and all three runtimes. Independently,
@@ -43,9 +49,10 @@ func main() {
 	procs := flag.Int("procs", 8, "number of simulated processors")
 	scale := flag.String("scale", "paper", "problem scale: paper, mid, or small")
 	protocol := flag.String("protocol", "", "DSM coherence protocol: lrc (default) or hlrc")
+	homepolicy := flag.String("homepolicy", "", "hlrc home-placement policy: static (default), firsttouch, or adaptive")
 	contention := flag.Int("contention", 0, "network contention: 0 off, -1 serial NICs only, N>0 serial NICs + N-way backplane")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: all host cores)")
-	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler,contention)")
+	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler,contention,migration)")
 	flag.Parse()
 
 	pname, err := proto.Parse(*protocol)
@@ -53,8 +60,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	polname, err := proto.ParsePolicy(*homepolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	r := harness.NewRunner(*procs, harness.Scale(*scale))
 	r.Protocol = pname
+	if polname != proto.StaticPolicy {
+		r.HomePolicy = polname
+	}
 	r.Workers = *workers
 	if *contention < -1 {
 		fmt.Fprintf(os.Stderr, "experiments: invalid -contention %d (want 0, -1, or a positive backplane bound)\n", *contention)
@@ -82,6 +97,7 @@ func main() {
 		"protocols":  func(w *os.File, r *harness.Runner) error { return harness.Protocols(w, r) },
 		"compiler":   func(w *os.File, r *harness.Runner) error { return harness.Compiler(w, r) },
 		"contention": func(w *os.File, r *harness.Runner) error { return harness.Contention(w, r) },
+		"migration":  func(w *os.File, r *harness.Runner) error { return harness.Migration(w, r) },
 	}
 	order := []string{"table1", "figure1", "table2", "figure2", "table3", "handopt", "interface"}
 	want := order
@@ -91,7 +107,7 @@ func main() {
 	for _, name := range want {
 		f, ok := table[strings.TrimSpace(name)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability, protocols, compiler, contention)\n", name, strings.Join(order, ", "))
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability, protocols, compiler, contention, migration)\n", name, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		run(name, f)

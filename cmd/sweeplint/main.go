@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	dsmrun -scale small -sweep "procs=1,2 protocol=lrc,hlrc" | sweeplint [-n expected]
+//	dsmrun -scale small -sweep "procs=1,2 protocol=lrc,hlrc" | sweeplint [-n expected] [-speedup]
+//
+// With -speedup every non-seq, non-error record must additionally carry
+// the sequential-baseline join fields (seq_ns/seq_seconds/speedup, as
+// emitted by `dsmrun -sweep ... -speedup`); their internal consistency
+// is part of the schema and checked always.
 //
 // Exit status: 0 when every record validates and none carries an error
 // (and the count matches -n, if given); 1 otherwise. CI's sweep smoke
@@ -20,11 +25,13 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/exp"
 )
 
 func main() {
 	expected := flag.Int("n", -1, "expected record count (-1: any)")
+	speedup := flag.Bool("speedup", false, "require the seq-baseline join fields on every non-seq record")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -45,6 +52,11 @@ func main() {
 		if rec.Error != "" {
 			failures++
 			fmt.Fprintf(os.Stderr, "sweeplint: record %d (%s): run failed: %s\n", records, rec.Key(), rec.Error)
+			continue
+		}
+		if *speedup && rec.Version != core.Seq && rec.Speedup == 0 {
+			invalid++
+			fmt.Fprintf(os.Stderr, "sweeplint: record %d (%s): missing seq-baseline join (-speedup)\n", records, rec.Key())
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -6,6 +6,7 @@ package apputil
 
 import (
 	"repro/internal/core"
+	"repro/internal/proto"
 	"repro/internal/pvm"
 	"repro/internal/sim"
 	"repro/internal/spf"
@@ -23,7 +24,7 @@ type SeqProgram struct {
 // RunSeq measures a sequential program on a 1-process TreadMarks system
 // (synchronization removed, per paper §3) charging only compute costs.
 func RunSeq(app string, cfg core.Config, setup func(tm *tmk.Tmk) SeqProgram) (core.Result, error) {
-	sys := tmk.NewSystem(1, cfg.Costs, tmk.WithProtocol(cfg.Protocol))
+	sys := tmk.NewSystem(1, cfg.Costs, tmk.WithProtocol(cfg.Protocol), tmk.WithHomePolicy(cfg.HomePolicy))
 	reg := core.NewRegion(1)
 	var sum float64
 	err := sys.Run(func(tm *tmk.Tmk) {
@@ -59,7 +60,7 @@ type TmkProgram struct {
 
 // RunTmk measures a TreadMarks program.
 func RunTmk(app string, v core.Version, cfg core.Config, setup func(tm *tmk.Tmk) TmkProgram) (core.Result, error) {
-	sys := tmk.NewSystem(cfg.Procs, cfg.Costs, tmk.WithProtocol(cfg.Protocol))
+	sys := tmk.NewSystem(cfg.Procs, cfg.Costs, tmk.WithProtocol(cfg.Protocol), tmk.WithHomePolicy(cfg.HomePolicy))
 	reg := core.NewRegion(cfg.Procs)
 	var sum float64
 	profiles := make([]tmk.Profile, cfg.Procs)
@@ -104,7 +105,23 @@ func RunTmk(app string, v core.Version, cfg core.Config, setup func(tm *tmk.Tmk)
 		res.SyncTime += pr.Barrier + pr.Lock
 		res.WriteTime += pr.Write
 	}
+	addPolicyActivity(&res, sys)
 	return res, nil
+}
+
+// addPolicyActivity records the home-policy identity and whole-run
+// migration activity of a DSM run into the result. The homeless
+// protocol has no homes: a configured policy was never consulted and
+// must not be reported as part of the measurement.
+func addPolicyActivity(res *core.Result, sys *tmk.System) {
+	if sys.Protocol() != proto.HomeLRC {
+		return
+	}
+	res.HomePolicy = sys.HomePolicy()
+	ctr := sys.ProtocolCounters()
+	res.Migrations = ctr.Migrations
+	res.RedirectedFlushBytes = ctr.RedirectedFlushBytes
+	res.StaleForwards = ctr.StaleForwards
 }
 
 // SPFProgram is a compiler-generated program: IterateMaster is the
@@ -120,7 +137,7 @@ type SPFProgram struct {
 // master's snapshots cleanly separate warm-up from timed traffic.
 func RunSPF(app string, v core.Version, cfg core.Config, opts spf.Options,
 	setup func(rt *spf.Runtime) SPFProgram) (core.Result, error) {
-	sys := tmk.NewSystem(cfg.Procs, cfg.Costs, tmk.WithProtocol(cfg.Protocol))
+	sys := tmk.NewSystem(cfg.Procs, cfg.Costs, tmk.WithProtocol(cfg.Protocol), tmk.WithHomePolicy(cfg.HomePolicy))
 	reg := core.NewRegion(1)
 	var sum float64
 	err := spf.Run(sys, opts, func(rt *spf.Runtime) {
@@ -145,10 +162,12 @@ func RunSPF(app string, v core.Version, cfg core.Config, opts spf.Options,
 	if err != nil {
 		return core.Result{}, err
 	}
-	return core.Result{
+	res := core.Result{
 		App: app, Version: v, Procs: cfg.Procs, Protocol: sys.Protocol(),
 		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
-	}, nil
+	}
+	addPolicyActivity(&res, sys)
+	return res, nil
 }
 
 // PVMProgram is a hand-coded message-passing program.

@@ -93,6 +93,11 @@ type Config struct {
 	// based versions (empty: the homeless TreadMarks LRC). Message
 	// passing versions ignore it.
 	Protocol proto.Name
+
+	// HomePolicy selects the home-placement policy of the home-based
+	// protocol (empty: static homes). The homeless protocol and the
+	// message-passing versions ignore it.
+	HomePolicy proto.PolicyName
 }
 
 // Result is the outcome of one (application, version, procs) run.
@@ -109,6 +114,18 @@ type Result struct {
 	// versions only): time in page repair, synchronization and write
 	// detection — the decomposition of the paper's §5/§6 analysis.
 	FaultTime, SyncTime, WriteTime sim.Time
+
+	// HomePolicy is the home-placement policy the run used (home-based
+	// protocol only). The activity counters below are whole-run sums
+	// over nodes (warm-up included — migrations concentrate in the
+	// first epochs, which the timed region excludes): pages whose home
+	// moved, flush bytes re-sent after a stale-home NACK, and protocol
+	// requests NACKed while a directory update was in flight. All zero
+	// under static homes and the homeless protocol.
+	HomePolicy           proto.PolicyName
+	Migrations           int64
+	RedirectedFlushBytes int64
+	StaleForwards        int64
 }
 
 // QueueTime returns the contention queueing delay accumulated over the

@@ -30,6 +30,11 @@ type Engine struct {
 	App model.AppCosts
 	// Workers bounds the worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// JoinSpeedup joins every non-seq record the engine emits with its
+	// sequential baseline (run and cached like any other spec), so the
+	// JSON-lines stream carries seq_ns/seq_seconds/speedup and plots
+	// need no post-join.
+	JoinSpeedup bool
 	// Lookup resolves application names; nil means the built-in
 	// registry (AppByName).
 	Lookup func(name string) (core.App, error)
@@ -64,6 +69,7 @@ func (e *Engine) Config(a core.App, s Spec) core.Config {
 	cfg.Costs = e.Costs.WithContention(s.Contention).WithFIFOPairs(s.FIFO)
 	cfg.App = e.App
 	cfg.Protocol = s.Protocol
+	cfg.HomePolicy = s.HomePolicy
 	return cfg
 }
 
@@ -196,28 +202,55 @@ func (e *Engine) Sweep(specs []Spec) ([]core.Result, error) {
 	return out, errors.Join(errs...)
 }
 
+// Record executes one spec and renders it as a JSON-lines record,
+// joining the sequential baseline when JoinSpeedup is set. A baseline
+// failure surfaces on the record's own error field only if the run
+// itself failed; an unjoinable baseline leaves the join fields absent.
+func (e *Engine) Record(s Spec) Record {
+	res, err := e.Run(s)
+	rec := RecordOf(s, res, err)
+	if e.JoinSpeedup && err == nil && s.Version != core.Seq {
+		if seq, serr := e.Run(SeqSpecOf(s)); serr == nil {
+			rec.JoinSeq(seq)
+		}
+	}
+	return rec
+}
+
 // Stream executes every spec across the worker pool and writes one
 // JSON-lines record per spec to w, in spec order, emitting each record
-// as soon as it and all its predecessors have finished. Run failures
-// become error records (and are joined into the returned error); a
-// write failure aborts the stream, cancelling the runs not yet started.
+// as soon as it and all its predecessors have finished. With
+// JoinSpeedup set, every non-seq record is joined with its sequential
+// baseline (prefetched alongside the specs). Run failures become error
+// records (and are joined into the returned error); a write failure
+// aborts the stream, cancelling the runs not yet started.
 func (e *Engine) Stream(w io.Writer, specs []Spec) error {
+	run := specs
+	if e.JoinSpeedup {
+		run = make([]Spec, 0, 2*len(specs))
+		run = append(run, specs...)
+		for _, s := range specs {
+			if s.Version != core.Seq {
+				run = append(run, SeqSpecOf(s))
+			}
+		}
+	}
 	var cancel atomic.Bool
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		e.prefetch(specs, &cancel)
+		e.prefetch(run, &cancel)
 	}()
 	enc := json.NewEncoder(w)
 	var errs []error
 	seenErr := map[string]bool{}
 	for _, s := range specs {
-		res, err := e.Run(s) // blocks until this spec's result is final
-		if err != nil && !seenErr[s.Key()] {
+		rec := e.Record(s) // blocks until this spec's result is final
+		if rec.Error != "" && !seenErr[s.Key()] {
 			seenErr[s.Key()] = true
-			errs = append(errs, err)
+			errs = append(errs, errors.New(rec.Error))
 		}
-		if werr := enc.Encode(RecordOf(s, res, err)); werr != nil {
+		if werr := enc.Encode(rec); werr != nil {
 			cancel.Store(true)
 			<-done
 			return werr

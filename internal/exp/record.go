@@ -47,6 +47,21 @@ type Record struct {
 	// (barrier storms vs page fetches vs data shifts).
 	QueueKindNanos map[string]int64 `json:"queue_kind_ns,omitempty"`
 
+	// Home-policy activity, whole-run sums over nodes (home-based
+	// protocol under a migrating policy only; zero and omitted under
+	// static homes and the homeless protocol).
+	Migrations           int64 `json:"migrations,omitempty"`
+	RedirectedFlushBytes int64 `json:"redirected_flush_bytes,omitempty"`
+	StaleForwards        int64 `json:"stale_forwards,omitempty"`
+
+	// Sequential-baseline join (engine option JoinSpeedup, or the
+	// dsmrun single-run path): the seq baseline's timed-region duration
+	// and this run's speedup over it. Absent on seq records and when
+	// the join is off.
+	SeqNanos   int64   `json:"seq_ns,omitempty"`
+	SeqSeconds float64 `json:"seq_seconds,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+
 	// Error carries a run failure; all measurement fields are zero.
 	Error string `json:"error,omitempty"`
 }
@@ -80,7 +95,34 @@ func RecordOf(s Spec, res core.Result, err error) Record {
 			rec.QueueKindNanos[k.String()] = n
 		}
 	}
+	rec.Migrations = res.Migrations
+	rec.RedirectedFlushBytes = res.RedirectedFlushBytes
+	rec.StaleForwards = res.StaleForwards
 	return rec
+}
+
+// JoinSeq adds the sequential-baseline join to a record: the baseline's
+// duration and the run's speedup over it. No-op on seq and error
+// records.
+func (r *Record) JoinSeq(seq core.Result) {
+	if r.Error != "" || r.Version == core.Seq || r.TimeNanos == 0 {
+		return
+	}
+	r.SeqNanos = int64(seq.Time)
+	r.SeqSeconds = seq.Time.Seconds()
+	r.Speedup = float64(seq.Time) / float64(r.TimeNanos)
+}
+
+// SeqSpecOf returns the sequential-baseline spec a record of s joins
+// with: the same application, scale and machine knobs at one
+// processor. The home policy is dropped — at one node every page is
+// self-homed and the policies are byte-identical (pinned by
+// TestSingleNodeNeverMigrates), so one cached baseline serves a whole
+// policy axis.
+func SeqSpecOf(s Spec) Spec {
+	s.Version = core.Seq
+	s.HomePolicy = ""
+	return s.Normalize()
 }
 
 // Validate checks a record against the JSON-lines schema: a coherent
@@ -123,6 +165,33 @@ func (r Record) Validate() error {
 	}
 	if r.Contention == 0 && r.QueueNanos != 0 {
 		return fmt.Errorf("exp: queueing delay without contention in record %s", r.Key())
+	}
+	if r.Migrations < 0 || r.RedirectedFlushBytes < 0 || r.StaleForwards < 0 {
+		return fmt.Errorf("exp: negative home-policy activity in record %s", r.Key())
+	}
+	switch r.HomePolicy {
+	case "", proto.StaticPolicy:
+		if r.Migrations != 0 || r.RedirectedFlushBytes != 0 || r.StaleForwards != 0 {
+			return fmt.Errorf("exp: home-policy activity under static homes in record %s", r.Key())
+		}
+	}
+	if r.Procs == 1 && r.Migrations != 0 {
+		return fmt.Errorf("exp: single-node run migrated pages in record %s", r.Key())
+	}
+	if r.SeqNanos != 0 || r.SeqSeconds != 0 || r.Speedup != 0 {
+		if r.Version == core.Seq {
+			return fmt.Errorf("exp: seq record carries a baseline join in record %s", r.Key())
+		}
+		if r.SeqNanos <= 0 || r.TimeNanos <= 0 {
+			return fmt.Errorf("exp: incoherent baseline join in record %s", r.Key())
+		}
+		if math.Abs(r.SeqSeconds-float64(r.SeqNanos)/1e9) > 1e-6 {
+			return fmt.Errorf("exp: seq_seconds %g disagrees with seq_ns %d", r.SeqSeconds, r.SeqNanos)
+		}
+		want := float64(r.SeqNanos) / float64(r.TimeNanos)
+		if math.Abs(r.Speedup-want) > 1e-9*want {
+			return fmt.Errorf("exp: speedup %g disagrees with seq_ns/time_ns %g in record %s", r.Speedup, want, r.Key())
+		}
 	}
 	if _, err := AppByName(r.App); err != nil {
 		return err

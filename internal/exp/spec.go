@@ -48,13 +48,24 @@ type Spec struct {
 	// FIFO opts in to non-overtaking (src, dst)-pair delivery
 	// (sim.Config.FIFOPairs).
 	FIFO bool `json:"fifo,omitempty"`
+	// HomePolicy selects the home-placement policy of the home-based
+	// protocol (empty: static homes). Non-hlrc runs ignore it but keep
+	// it in the identity so policy sweeps stay uniform. The field is
+	// default-empty and omitted from keys when empty, so pre-policy
+	// spec keys and cached streams stay valid.
+	HomePolicy proto.PolicyName `json:"homepolicy,omitempty"`
 }
 
 // Normalize returns the spec with the run conventions applied: the
-// sequential baseline always runs on one processor.
+// sequential baseline always runs on one processor, and an explicit
+// "static" home policy canonicalizes to empty (the default) so the
+// same simulation never gets two spec identities.
 func (s Spec) Normalize() Spec {
 	if s.Version == core.Seq {
 		s.Procs = 1
+	}
+	if s.HomePolicy == proto.StaticPolicy {
+		s.HomePolicy = ""
 	}
 	return s
 }
@@ -66,8 +77,12 @@ func (s Spec) Key() string {
 	if s.FIFO {
 		fifo = 1
 	}
-	return fmt.Sprintf("app=%s|version=%s|procs=%d|scale=%s|protocol=%s|contention=%d|fifo=%d",
+	key := fmt.Sprintf("app=%s|version=%s|procs=%d|scale=%s|protocol=%s|contention=%d|fifo=%d",
 		s.App, s.Version, s.Procs, s.Scale, s.Protocol, s.Contention, fifo)
+	if s.HomePolicy != "" {
+		key += fmt.Sprintf("|homepolicy=%s", s.HomePolicy)
+	}
+	return key
 }
 
 // ParseKey decodes a Key back into a Spec. It round-trips exactly:
@@ -89,6 +104,8 @@ func ParseKey(key string) (Spec, error) {
 			s.Scale = core.Scale(v)
 		case "protocol":
 			s.Protocol = proto.Name(v)
+		case "homepolicy":
+			s.HomePolicy = proto.PolicyName(v)
 		case "procs", "contention", "fifo":
 			n, err := strconv.Atoi(v)
 			if err != nil {
@@ -135,6 +152,9 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("exp: unknown scale %q", s.Scale)
 	}
 	if _, err := proto.Parse(string(s.Protocol)); err != nil {
+		return err
+	}
+	if _, err := proto.ParsePolicy(string(s.HomePolicy)); err != nil {
 		return err
 	}
 	return nil

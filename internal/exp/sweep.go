@@ -11,17 +11,18 @@ import (
 
 // Axes describes a sweep as per-axis value lists. Specs expands the
 // cross-product in fixed nested order — app outermost, then version,
-// procs, scale, protocol, contention, fifo innermost — which defines
-// the canonical output order of every sweep. An empty axis is pinned
-// to the base spec's value for that field.
+// procs, scale, protocol, contention, fifo, homepolicy innermost —
+// which defines the canonical output order of every sweep. An empty
+// axis is pinned to the base spec's value for that field.
 type Axes struct {
-	Apps        []string
-	Versions    []core.Version
-	Procs       []int
-	Scales      []core.Scale
-	Protocols   []proto.Name
-	Contentions []int
-	FIFOs       []bool
+	Apps         []string
+	Versions     []core.Version
+	Procs        []int
+	Scales       []core.Scale
+	Protocols    []proto.Name
+	Contentions  []int
+	FIFOs        []bool
+	HomePolicies []proto.PolicyName
 }
 
 // Specs expands the cross-product over base. Axis values appear in the
@@ -56,6 +57,10 @@ func (a Axes) Specs(base Spec) []Spec {
 	if len(fifos) == 0 {
 		fifos = []bool{base.FIFO}
 	}
+	policies := a.HomePolicies
+	if len(policies) == 0 {
+		policies = []proto.PolicyName{base.HomePolicy}
+	}
 	var out []Spec
 	for _, app := range apps {
 		for _, v := range versions {
@@ -64,10 +69,13 @@ func (a Axes) Specs(base Spec) []Spec {
 					for _, pr := range protocols {
 						for _, ct := range contentions {
 							for _, ff := range fifos {
-								out = append(out, Spec{
-									App: app, Version: v, Procs: p, Scale: sc,
-									Protocol: pr, Contention: ct, FIFO: ff,
-								})
+								for _, hp := range policies {
+									out = append(out, Spec{
+										App: app, Version: v, Procs: p, Scale: sc,
+										Protocol: pr, Contention: ct, FIFO: ff,
+										HomePolicy: hp,
+									})
+								}
 							}
 						}
 					}
@@ -80,7 +88,8 @@ func (a Axes) Specs(base Spec) []Spec {
 
 // ParseAxes builds Axes from `key=v1,v2,...` tokens — the CLI sweep
 // syntax (e.g. "procs=1,2,4,8 protocol=lrc,hlrc" split into tokens).
-// Keys: app, version, procs, scale, protocol, contention, fifo. Blank
+// Keys: app, version, procs, scale, protocol, contention, fifo,
+// homepolicy. Blank
 // tokens are ignored; repeated keys append. A token without '=' is a
 // continuation of the previous token's value list, rejoined with a
 // space — application names contain spaces ("3-D FFT"), and shells
@@ -133,6 +142,12 @@ func ParseAxes(tokens []string) (Axes, error) {
 					return Axes{}, err
 				}
 				a.Protocols = append(a.Protocols, p)
+			case "homepolicy":
+				hp, err := proto.ParsePolicy(v)
+				if err != nil {
+					return Axes{}, err
+				}
+				a.HomePolicies = append(a.HomePolicies, hp)
 			case "contention":
 				n, err := strconv.Atoi(v)
 				if err != nil || n < -1 {
@@ -146,7 +161,7 @@ func ParseAxes(tokens []string) (Axes, error) {
 				}
 				a.FIFOs = append(a.FIFOs, b)
 			default:
-				return Axes{}, fmt.Errorf("exp: unknown sweep axis %q (have app, version, procs, scale, protocol, contention, fifo)", key)
+				return Axes{}, fmt.Errorf("exp: unknown sweep axis %q (have app, version, procs, scale, protocol, contention, fifo, homepolicy)", key)
 			}
 		}
 	}

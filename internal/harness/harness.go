@@ -45,6 +45,9 @@ type Runner struct {
 	Costs    model.Costs
 	App      model.AppCosts
 	Protocol proto.Name // DSM coherence protocol (empty: homeless LRC)
+	// HomePolicy selects the home-placement policy of the home-based
+	// protocol (empty: static homes).
+	HomePolicy proto.PolicyName
 	// Workers bounds the engine's worker pool (0: all host cores).
 	Workers int
 
@@ -84,7 +87,7 @@ func (r *Runner) SpecAt(appName string, v core.Version, procs int) exp.Spec {
 	s := exp.Spec{
 		App: appName, Version: v, Procs: procs, Scale: r.Scale,
 		Protocol: r.Protocol, Contention: r.Costs.Contention(),
-		FIFO: r.Costs.FIFOPairs,
+		FIFO: r.Costs.FIFOPairs, HomePolicy: r.HomePolicy,
 	}
 	return s.Normalize()
 }

@@ -13,9 +13,11 @@ import (
 // protocol differently — runs under both coherence protocols at 1, 2, 4
 // and 8 nodes. The checksums must be bit-identical — the protocol may
 // change only virtual time, message counts and byte volumes — and, for
-// the representative version, a repeated run must reproduce the
-// per-protocol message and byte counts exactly (the simulator is
-// deterministic, so any drift is a protocol-state leak).
+// the representative version, the three home-placement policies of the
+// home-based protocol must also leave the checksum bit-identical (home
+// migration moves master copies, never values), and a repeated run must
+// reproduce the per-protocol message and byte counts exactly (the
+// simulator is deterministic, so any drift is a protocol-state leak).
 func TestProtocolEquivalence(t *testing.T) {
 	for _, a := range Apps() {
 		rep := DSMVersionOf(a)
@@ -35,6 +37,18 @@ func TestProtocolEquivalence(t *testing.T) {
 					}
 					if v != rep {
 						return
+					}
+					for _, pol := range proto.PolicyNames() {
+						res, err := base.policySub(procs, pol).Run(a, v)
+						if err != nil {
+							t.Fatalf("hlrc/%s: %v", pol, err)
+						}
+						if res.Checksum != first[0].Checksum {
+							t.Errorf("checksum under hlrc/%s = %v, want %v", pol, res.Checksum, first[0].Checksum)
+						}
+						if procs == 1 && res.Migrations != 0 {
+							t.Errorf("single-node run under hlrc/%s migrated %d pages", pol, res.Migrations)
+						}
 					}
 					again, err := base.RunProtocols(a, v, procs)
 					if err != nil {

@@ -53,8 +53,17 @@ func DSMVersions(a core.App) []core.Version {
 func (r *Runner) sub(procs int, p proto.Name) *Runner {
 	return &Runner{
 		Procs: procs, Scale: r.Scale, Costs: r.Costs, App: r.App,
-		Protocol: p, Workers: r.Workers, eng: r.Engine(),
+		Protocol: p, HomePolicy: r.HomePolicy, Workers: r.Workers, eng: r.Engine(),
 	}
+}
+
+// policySub derives a runner at the given node count and home policy,
+// pinned to the home-based protocol (the only one with homes), sharing
+// the parent's engine.
+func (r *Runner) policySub(procs int, pol proto.PolicyName) *Runner {
+	nr := r.sub(procs, proto.HomeLRC)
+	nr.HomePolicy = pol
+	return nr
 }
 
 // ProtocolSpecs renders one (application, version, procs) run under

@@ -10,11 +10,13 @@ import (
 
 // The home-based LRC protocol (HLRC, after Zhou/Iftode/Li's home-based
 // protocols and Cudennec's survey of S-DSM design axes): every page has
-// a statically assigned home node whose copy is the master copy.
+// a home node whose copy is the master copy.
 //
-//   - Homes are assigned block-wise within each region, so under an
-//     owner-computes block distribution most writes land on self-homed
-//     pages, which need neither twins nor flushes.
+//   - Home *placement* is a policy (policy.go): static block-wise
+//     assignment by default, or the migrating first-touch/adaptive
+//     policies, which repoint pages through barrier-arbitrated
+//     directory updates. The coherence mechanism below is identical
+//     under every policy.
 //   - At every release, the writer extracts the diffs of its dirtied
 //     remote-homed pages and flushes them to the homes, one message per
 //     home, and waits for the acknowledgments before the release
@@ -28,46 +30,73 @@ import (
 //     homeless diff collection on multi-writer pages, more bytes than a
 //     sparse diff.
 //
+// Directory changes and staleness. Every directory update is decided at
+// one barrier (the manager arbitrates the policies' proposals) and
+// installed by each node as it leaves that barrier, so a node never
+// *sends* protocol traffic under a directory older than the newest
+// decided epoch. A *server*, however, can still be an epoch behind its
+// clients — its application process may not have processed its own
+// barrier departure yet — and during a migration the new home may still
+// be pulling the page's contents from the old home. Both windows are
+// closed by NACKs: a flush or page request that cannot be served is
+// rejected page-by-page with the server's directory mapping and epoch,
+// and the sender re-sends — to the corrected home when the NACK carries
+// a newer directory, to the same home (a pure retry) when it does not.
+// The migration pull itself travels on dedicated tags and is served
+// from the old home's retained copy, which is current through every
+// release the new home can have heard of; diffs that arrive at the new
+// home while the pull is in flight are stashed and re-applied over the
+// installed snapshot.
+//
 // The protocol trades release latency (synchronous flush round trip) and
 // whole-page transfer volume for single-round-trip faults and zero diff
 // storage at third parties. Race-free programs compute bit-identical
-// results under both protocols; the equivalence tests in
-// internal/harness assert this on every application.
+// results under both protocols and all home policies; the equivalence
+// tests in internal/harness assert this on every application.
 
-// homePage is the home protocol's extra per-page state.
-type homePage struct {
-	home int // statically assigned home node
+// staleRetryLimit bounds the redirect/retry rounds of one flush or
+// fetch. Directory epochs advance once per barrier and servers lag
+// their clients by at most one epoch, so a handful of rounds settles
+// any race; hitting the bound means the directory never converged.
+const staleRetryLimit = 64
+
+// pullState tracks one in-flight migration pull at a page's new home:
+// diffs flushed to the new home before the old home's snapshot arrives
+// are stashed and re-applied over the installed snapshot.
+type pullState struct {
+	stash []any
 }
 
 type home struct {
 	lrcCore
-	meta []homePage
+	pol      HomePolicy
+	dirEpoch int32                // barrier epochs with directory updates installed
+	pulls    map[int32]*pullState // pages this node gained and is still pulling
 }
 
-func newHome(h Host) *home {
-	hb := &home{}
+func newHome(h Host, policy PolicyName) *home {
+	hb := &home{pulls: map[int32]*pullState{}}
 	hb.init(h)
+	hb.pol = NewHomePolicy(policy, hb.nprocs, hb.id)
 	return hb
 }
 
 func (hb *home) Name() Name { return HomeLRC }
 
-// AddPages assigns homes block-wise across the new region's pages: page
-// i of an npages region is homed on node i*nprocs/npages, matching the
-// BLOCK data distribution every regular application uses, so the common
-// case writes self-homed pages.
+// AddPages registers the new region's pages with the home policy, which
+// assigns the initial block-wise homes (identical on every node).
 func (hb *home) AddPages(npages int) {
 	hb.addPages(npages)
-	for i := 0; i < npages; i++ {
-		hb.meta = append(hb.meta, homePage{home: i * hb.nprocs / npages})
-	}
+	hb.pol.AddPages(npages)
 }
 
-func (hb *home) homeOf(gp int32) int { return hb.meta[gp].home }
+func (hb *home) homeOf(gp int32) int { return hb.pol.HomeOf(gp) }
 
 // WriteTouch: self-homed pages skip twinning — the node's copy is the
 // master copy, so write detection (for notices) is all that is needed.
+// The policy observes every write touch (first-touch claims).
 func (hb *home) WriteTouch(gp int32) {
+	hb.pol.NoteWrite(gp)
 	hb.writeTouch(gp, hb.homeOf(gp) != hb.id)
 }
 
@@ -78,18 +107,33 @@ type flushPage struct {
 	bytes   int
 }
 
-// flushMsg carries a release's diffs for the pages homed at one node.
+// flushMsg carries a release's diffs for the pages homed at one node,
+// stamped with the writer's directory epoch so a lagging home can tell
+// a misdirected flush from one it should retry-NACK.
 type flushMsg struct {
 	writer   int
 	interval int32 // the releasing interval the diffs belong to
+	epoch    int32 // the writer's installed directory epoch
 	shutdown bool  // classify the ack as shutdown traffic too
 	pages    []flushPage
 }
 
+// flushAck acknowledges a flush. rejected lists the pages the server
+// could not accept, each mapped to the server's current home for it,
+// together with the server's directory epoch: the writer re-sends those
+// pages — to the corrected homes when the NACK's directory is no older
+// than its own, to the same home otherwise (a retry while the server
+// catches up).
+type flushAck struct {
+	epoch    int32
+	rejected []DirUpdate
+}
+
 // Release closes the open interval after eagerly flushing the dirtied
 // remote-homed pages' diffs to their homes. The release blocks until
-// every home has acknowledged, so the homes are current before any
-// causally later acquire.
+// every home has acknowledged every page, re-sending any page that a
+// stale or mid-migration home NACKed, so the homes are current before
+// any causally later acquire.
 func (hb *home) Release(kind stats.Kind) {
 	p := hb.h.AppProc()
 	c := hb.h.Costs()
@@ -115,22 +159,59 @@ func (hb *home) Release(kind stats.Kind) {
 		perHome[hm] = append(perHome[hm], flushPage{page: gp, payload: payload, bytes: bytes})
 		p.Advance(c.DiffCreateCost(diffChangedBytes(bytes)))
 	}
-	homes := make([]int, 0, len(perHome))
-	for hm := range perHome {
-		homes = append(homes, hm)
-	}
-	sort.Ints(homes)
-	for _, hm := range homes {
-		msg := flushMsg{writer: hb.id, interval: hb.curInterval, shutdown: shutdown, pages: perHome[hm]}
+	interval := hb.curInterval
+	sendFlush := func(hm int, pages []flushPage, resend bool) {
+		msg := flushMsg{writer: hb.id, interval: interval, epoch: hb.dirEpoch, shutdown: shutdown, pages: pages}
 		bytes := flushHdr
-		for _, fp := range msg.pages {
+		for _, fp := range pages {
 			bytes += fp.bytes
+		}
+		if resend {
+			hb.ctr.RedirectedFlushBytes += int64(bytes)
 		}
 		p.Send(hb.h.ServerOf(hm), tagFlush, msg, bytes, flushKind)
 	}
+	ackFrom := make([]int, 0, len(perHome))
+	for _, hm := range sortedHomes(perHome) {
+		sendFlush(hm, perHome[hm], false)
+		ackFrom = append(ackFrom, hm)
+	}
 	hb.closeInterval()
-	for _, hm := range homes {
-		p.Recv(hb.h.ServerOf(hm), tagFlushAck)
+	// sent indexes every flushed page for NACK re-sends; built lazily
+	// on the first rejection so the common settled path (always, under
+	// the static policy) pays nothing for it.
+	var sent map[int32]flushPage
+	for round := 0; len(ackFrom) > 0; round++ {
+		if round > staleRetryLimit {
+			panic("proto: home flush never settled (directory did not converge)")
+		}
+		hm := ackFrom[0]
+		ackFrom = ackFrom[1:]
+		m := p.Recv(hb.h.ServerOf(hm), tagFlushAck)
+		ack, _ := m.Payload.(flushAck)
+		if len(ack.rejected) == 0 {
+			continue
+		}
+		if ack.epoch >= hb.dirEpoch {
+			hb.pol.Apply(ack.rejected) // learn the newer directory
+		}
+		if sent == nil {
+			sent = map[int32]flushPage{}
+			for _, pages := range perHome {
+				for _, fp := range pages {
+					sent[fp.page] = fp
+				}
+			}
+		}
+		re := map[int][]flushPage{}
+		for _, u := range ack.rejected {
+			nh := hb.homeOf(u.Page)
+			re[nh] = append(re[nh], sent[u.Page])
+		}
+		for _, nh := range sortedHomes(re) {
+			sendFlush(nh, re[nh], true)
+			ackFrom = append(ackFrom, nh)
+		}
 	}
 }
 
@@ -143,6 +224,7 @@ type pageNeed struct {
 }
 
 type pageReq struct {
+	epoch int32 // the requester's installed directory epoch
 	pages []pageNeed
 }
 
@@ -156,8 +238,22 @@ type pageCopy struct {
 	applied []int32
 }
 
+// pageResp answers a page request. rejected lists pages the server
+// could not serve (not homed here, or mid-migration), mapped to the
+// server's current home for them; the requester re-asks as for a flush
+// NACK.
 type pageResp struct {
-	pages []pageCopy
+	epoch    int32
+	pages    []pageCopy
+	rejected []DirUpdate
+}
+
+// migReq is a new home's migration pull: after a directory update moved
+// pages here, fetch their contents from the old home. Served from the
+// old home's retained copy regardless of its directory state.
+type migReq struct {
+	shutdown bool
+	pages    []pageNeed
 }
 
 // Fault repairs an invalid page with a single whole-page fetch from its
@@ -165,12 +261,14 @@ type pageResp struct {
 func (hb *home) Fault(gp int32) { hb.FetchAggregated([]int32{gp}) }
 
 // FetchAggregated repairs all invalid pages of gps with one whole-page
-// request per distinct home.
+// request per distinct home, re-asking per the NACKed directory when a
+// home moved underneath the fault.
 func (hb *home) FetchAggregated(gps []int32) {
 	p := hb.h.AppProc()
 	c := hb.h.Costs()
-	perHome := map[int][]pageNeed{}
+	needs := map[int32]pageNeed{}
 	local := map[int32]any{}
+	perHome := map[int][]int32{}
 	for _, gp := range gps {
 		if !hb.pages[gp].invalid() {
 			continue
@@ -182,28 +280,46 @@ func (hb *home) FetchAggregated(gps []int32) {
 		if payload, ok := hb.extractLocal(gp, p); ok {
 			local[gp] = payload
 		}
-		perHome[hm] = append(perHome[hm], hb.needOf(gp))
+		needs[gp] = hb.needOf(gp)
+		perHome[hm] = append(perHome[hm], gp)
 	}
 	if len(perHome) == 0 {
 		return
 	}
 	p.Advance(c.ReadFault) // one access miss covers the whole range
 	hb.ctr.Faults++
-	homes := make([]int, 0, len(perHome))
-	for hm := range perHome {
-		homes = append(homes, hm)
-	}
-	sort.Ints(homes)
-	for _, hm := range homes {
-		req := pageReq{pages: perHome[hm]}
-		bytes := pageReqHdr + len(req.pages)*(pageReqPerPage+pageRespPerVC*hb.nprocs)
-		p.Send(hb.h.ServerOf(hm), tagPageReq, req, bytes, stats.KindPageReq)
-	}
-	for _, hm := range homes {
-		m := p.Recv(hb.h.ServerOf(hm), tagPageResp)
-		for _, pg := range m.Payload.(pageResp).pages {
-			hb.installPage(p, pg, local)
+	for round := 0; len(perHome) > 0; round++ {
+		if round > staleRetryLimit {
+			panic("proto: page fetch never settled (directory did not converge)")
 		}
+		homes := sortedHomes(perHome)
+		for _, hm := range homes {
+			req := pageReq{epoch: hb.dirEpoch}
+			for _, gp := range perHome[hm] {
+				req.pages = append(req.pages, needs[gp])
+			}
+			bytes := pageReqHdr + len(req.pages)*(pageReqPerPage+pageRespPerVC*hb.nprocs)
+			p.Send(hb.h.ServerOf(hm), tagPageReq, req, bytes, stats.KindPageReq)
+		}
+		next := map[int][]int32{}
+		for _, hm := range homes {
+			m := p.Recv(hb.h.ServerOf(hm), tagPageResp)
+			resp := m.Payload.(pageResp)
+			for _, pg := range resp.pages {
+				hb.installPage(p, pg, local)
+			}
+			if len(resp.rejected) == 0 {
+				continue
+			}
+			if resp.epoch >= hb.dirEpoch {
+				hb.pol.Apply(resp.rejected)
+			}
+			for _, u := range resp.rejected {
+				nh := hb.homeOf(u.Page)
+				next[nh] = append(next[nh], u.Page)
+			}
+		}
+		perHome = next
 	}
 }
 
@@ -254,6 +370,73 @@ func (hb *home) installPage(p *sim.Proc, pg pageCopy, local map[int32]any) {
 	}
 }
 
+// Rebalance closes a barrier epoch for the home policy and returns its
+// directory proposals for arbitration.
+func (hb *home) Rebalance() []DirUpdate { return hb.pol.Rebalance() }
+
+// ApplyDirectory installs the barrier-arbitrated directory updates.
+// For every page this node gained whose local copy it cannot prove
+// current (pending write notices), it synchronously pulls the contents
+// from the old home before returning — i.e. before this node can leave
+// the barrier — stashing and re-applying any diffs that race the pull.
+func (hb *home) ApplyDirectory(us []DirUpdate, kind stats.Kind) {
+	if len(us) == 0 {
+		return
+	}
+	olds := make([]int, len(us))
+	for i, u := range us {
+		olds[i] = hb.homeOf(u.Page)
+	}
+	hb.pol.Apply(us)
+	hb.dirEpoch++
+	perOld := map[int][]int32{}
+	for i, u := range us {
+		if int(u.Home) != hb.id || olds[i] == hb.id {
+			continue
+		}
+		hb.ctr.Migrations++
+		if hb.pages[u.Page].invalid() {
+			perOld[olds[i]] = append(perOld[olds[i]], u.Page)
+			hb.pulls[u.Page] = &pullState{}
+		}
+	}
+	if len(perOld) == 0 {
+		return
+	}
+	p := hb.h.AppProc()
+	c := hb.h.Costs()
+	reqKind := stats.KindPageReq
+	shutdown := kind == stats.KindShutdown
+	if shutdown {
+		reqKind = stats.KindShutdown
+	}
+	homes := sortedHomes(perOld)
+	for _, hm := range homes {
+		req := migReq{shutdown: shutdown}
+		for _, gp := range perOld[hm] {
+			req.pages = append(req.pages, hb.needOf(gp))
+		}
+		bytes := pageReqHdr + len(req.pages)*(pageReqPerPage+pageRespPerVC*hb.nprocs)
+		p.Send(hb.h.ServerOf(hm), tagMigReq, req, bytes, reqKind)
+	}
+	for _, hm := range homes {
+		m := p.Recv(hb.h.ServerOf(hm), tagMigResp)
+		for _, pg := range m.Payload.(pageResp).pages {
+			hb.installPage(p, pg, nil)
+			ps := hb.pulls[pg.page]
+			for _, payload := range ps.stash {
+				// A diff flushed here while the pull was in flight:
+				// re-apply it over the installed snapshot (its notice
+				// bookkeeping already happened at first application).
+				hb.h.ApplyDiff(pg.page, payload)
+				hb.ctr.DiffsApplied++
+				p.Advance(c.DiffApply)
+			}
+			delete(hb.pulls, pg.page)
+		}
+	}
+}
+
 // FirePushes: the push optimization ships diff records, which only the
 // homeless protocol keeps; under HLRC every release already pushes diffs
 // to the home eagerly, so directives and expectations are ignored and
@@ -261,17 +444,32 @@ func (hb *home) installPage(p *sim.Proc, pg pageCopy, local map[int32]any) {
 func (hb *home) FirePushes(p *sim.Proc, seq int, kind stats.Kind, pushes []*PushDirective, expects []int) {
 }
 
-// HandleServer services home-side traffic: eager flushes and whole-page
-// fetch requests.
+// HandleServer services home-side traffic: eager flushes, whole-page
+// fetch requests, and migration pulls.
 func (hb *home) HandleServer(p *sim.Proc, m *sim.Message) bool {
 	c := hb.h.Costs()
 	switch m.Tag {
 	case tagFlush:
 		p.Advance(c.HandlerWake)
 		fm := m.Payload.(flushMsg)
+		var rejected []DirUpdate
 		for _, fp := range fm.pages {
-			if hb.homeOf(fp.page) != hb.id {
-				panic("proto: flush for a page not homed here")
+			hm := hb.homeOf(fp.page)
+			switch {
+			case hm != hb.id:
+				// Misdirected: the writer's directory (or ours) is
+				// stale. NACK with our mapping and let the writer
+				// re-send.
+				hb.ctr.StaleForwards++
+				rejected = append(rejected, DirUpdate{Page: fp.page, Home: int32(hm)})
+				continue
+			case fm.epoch > hb.dirEpoch:
+				// The writer runs a directory epoch we have not
+				// installed yet — we may be about to lose this page.
+				// Don't guess; the writer retries once we catch up.
+				hb.ctr.StaleForwards++
+				rejected = append(rejected, DirUpdate{Page: fp.page, Home: int32(hb.id)})
+				continue
 			}
 			pc := &hb.pages[fp.page]
 			hb.h.ApplyDiff(fp.page, fp.payload)
@@ -279,22 +477,37 @@ func (hb *home) HandleServer(p *sim.Proc, m *sim.Message) bool {
 			if fm.interval > pc.applied[fm.writer] {
 				pc.applied[fm.writer] = fm.interval
 			}
+			hb.pol.NoteFlush(fp.page, fm.writer, fp.bytes)
+			if ps := hb.pulls[fp.page]; ps != nil {
+				ps.stash = append(ps.stash, fp.payload)
+			}
 			p.Advance(c.DiffApplyCost(diffChangedBytes(fp.bytes)))
 		}
 		ackKind := stats.KindControl
 		if fm.shutdown {
 			ackKind = stats.KindShutdown
 		}
-		p.Send(m.Src, tagFlushAck, nil, flushAckBytes, ackKind)
+		ack := flushAck{epoch: hb.dirEpoch, rejected: rejected}
+		p.Send(m.Src, tagFlushAck, ack, flushAckBytes+DirUpdateBytes(rejected), ackKind)
 		return true
 	case tagPageReq:
 		p.Advance(c.HandlerWake)
 		req := m.Payload.(pageReq)
-		var resp pageResp
+		resp := pageResp{epoch: hb.dirEpoch}
 		bytes := pageRespHdr
 		for _, pn := range req.pages {
-			if hb.homeOf(pn.page) != hb.id {
-				panic("proto: page request for a page not homed here")
+			hm := hb.homeOf(pn.page)
+			switch {
+			case hm != hb.id:
+				hb.ctr.StaleForwards++
+				resp.rejected = append(resp.rejected, DirUpdate{Page: pn.page, Home: int32(hm)})
+				continue
+			case hb.pulls[pn.page] != nil || req.epoch > hb.dirEpoch:
+				// Mid-migration (our pull of the page is in flight) or
+				// the requester is an epoch ahead: have it retry.
+				hb.ctr.StaleForwards++
+				resp.rejected = append(resp.rejected, DirUpdate{Page: pn.page, Home: int32(hb.id)})
+				continue
 			}
 			pc := &hb.pages[pn.page]
 			for q := 0; q < hb.nprocs; q++ {
@@ -308,16 +521,64 @@ func (hb *home) HandleServer(p *sim.Proc, m *sim.Message) bool {
 						hb.id, pn.page, pn.need[q], q, pc.applied[q]))
 				}
 			}
-			data, sz := hb.h.SnapshotPage(pn.page)
-			applied := make([]int32, hb.nprocs)
-			copy(applied, pc.applied)
-			// The copy carries every released write of the home itself.
-			applied[hb.id] = hb.vc[hb.id]
-			resp.pages = append(resp.pages, pageCopy{page: pn.page, data: data, bytes: sz, applied: applied})
-			bytes += sz + pageRespPerVC*hb.nprocs
+			resp.pages = append(resp.pages, hb.copyOf(pn.page))
+			bytes += resp.pages[len(resp.pages)-1].bytes + pageRespPerVC*hb.nprocs
 		}
+		bytes += DirUpdateBytes(resp.rejected)
 		p.Send(m.Src, tagPageResp, resp, bytes, stats.KindPage)
+		return true
+	case tagMigReq:
+		p.Advance(c.HandlerWake)
+		req := m.Payload.(migReq)
+		var resp pageResp
+		bytes := pageRespHdr
+		for _, pn := range req.pages {
+			// Served regardless of our directory state: we were the
+			// page's home when the update was decided, and our retained
+			// copy is current through every release the new home can
+			// have heard of.
+			pc := &hb.pages[pn.page]
+			for q := 0; q < hb.nprocs; q++ {
+				if q == hb.id {
+					continue
+				}
+				if pn.need[q] > pc.applied[q] {
+					panic(fmt.Sprintf(
+						"proto: old home %d behind on migrating page %d: need interval %d of writer %d, have %d",
+						hb.id, pn.page, pn.need[q], q, pc.applied[q]))
+				}
+			}
+			resp.pages = append(resp.pages, hb.copyOf(pn.page))
+			bytes += resp.pages[len(resp.pages)-1].bytes + pageRespPerVC*hb.nprocs
+		}
+		respKind := stats.KindPage
+		if req.shutdown {
+			respKind = stats.KindShutdown
+		}
+		p.Send(m.Src, tagMigResp, resp, bytes, respKind)
 		return true
 	}
 	return false
+}
+
+// copyOf snapshots a page and its applied vector for a reply. The copy
+// carries every released write of this node itself.
+func (hb *home) copyOf(gp int32) pageCopy {
+	pc := &hb.pages[gp]
+	data, sz := hb.h.SnapshotPage(gp)
+	applied := make([]int32, hb.nprocs)
+	copy(applied, pc.applied)
+	applied[hb.id] = hb.vc[hb.id]
+	return pageCopy{page: gp, data: data, bytes: sz, applied: applied}
+}
+
+// sortedHomes returns a map's home-node keys in ascending order (the
+// deterministic send order every multi-home operation uses).
+func sortedHomes[T any](m map[int][]T) []int {
+	out := make([]int, 0, len(m))
+	for hm := range m {
+		out = append(out, hm)
+	}
+	sort.Ints(out)
+	return out
 }

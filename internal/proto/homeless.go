@@ -70,6 +70,11 @@ func (hl *homeless) WriteTouch(gp int32) { hl.writeTouch(gp, true) }
 // stay here until requested.
 func (hl *homeless) Release(stats.Kind) { hl.closeInterval() }
 
+// The homeless protocol has no homes: nothing to rebalance, nothing to
+// install.
+func (hl *homeless) Rebalance() []DirUpdate                 { return nil }
+func (hl *homeless) ApplyDirectory([]DirUpdate, stats.Kind) {}
+
 // diffRequest asks a writer for the diffs of a set of pages.
 type diffRequest struct {
 	pages []pageAsk

@@ -100,6 +100,25 @@ type Counters struct {
 	DiffsMade    int64 // diffs extracted (lazily or at flush)
 	DiffsApplied int64 // diffs applied to local pages
 	PageFetches  int64 // whole-page fetches (home-based protocol)
+
+	// Home-policy activity (home-based protocol under a migrating
+	// policy; always zero under static homes or the homeless protocol).
+	Migrations           int64 // pages whose home moved *to* this node
+	StaleForwards        int64 // protocol requests NACKed because the directory moved (server side)
+	RedirectedFlushBytes int64 // flush bytes this node re-sent after a stale-home NACK
+}
+
+// Add accumulates o into c, field by field — the per-system aggregation
+// lives here so a new counter cannot be dropped from run results.
+func (c *Counters) Add(o *Counters) {
+	c.Faults += o.Faults
+	c.Twins += o.Twins
+	c.DiffsMade += o.DiffsMade
+	c.DiffsApplied += o.DiffsApplied
+	c.PageFetches += o.PageFetches
+	c.Migrations += o.Migrations
+	c.StaleForwards += o.StaleForwards
+	c.RedirectedFlushBytes += o.RedirectedFlushBytes
 }
 
 // PushDirective is a registered producer-push pairing (the §8 "push
@@ -164,6 +183,18 @@ type Protocol interface {
 	// optimization, which ships data outside the protocol).
 	MarkApplied(gp int32, writer int, upto int32)
 
+	// Rebalance closes a barrier epoch and returns the node's proposed
+	// home-directory updates for arbitration at the barrier (home
+	// placement policy; nil under the homeless protocol and the static
+	// policy). Called after Release on every barrier arrival.
+	Rebalance() []DirUpdate
+
+	// ApplyDirectory installs the barrier-arbitrated directory updates,
+	// identical on every node. New homes pull pages they cannot prove
+	// current; kind classifies that traffic (KindShutdown during
+	// teardown barriers). No-op for protocols without homes.
+	ApplyDirectory(us []DirUpdate, kind stats.Kind)
+
 	// FirePushes runs at the end of every barrier on the application
 	// process: service the registered push directives, then consume the
 	// expected incoming pushes. Protocols without push support treat both
@@ -178,13 +209,15 @@ type Protocol interface {
 	Counters() *Counters
 }
 
-// New creates a protocol instance bound to host.
-func New(name Name, h Host) Protocol {
+// New creates a protocol instance bound to host. policy selects the
+// home-placement policy of the home-based protocol (empty: static); the
+// homeless protocol has no homes and ignores it.
+func New(name Name, policy PolicyName, h Host) Protocol {
 	switch name {
 	case "", HomelessLRC:
 		return newHomeless(h)
 	case HomeLRC:
-		return newHome(h)
+		return newHome(h, policy)
 	}
 	panic(fmt.Sprintf("proto: unknown protocol %q", name))
 }

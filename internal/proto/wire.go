@@ -12,6 +12,8 @@ const (
 	tagFlushAck = 20 << 16 // home: flush acknowledgment (to application)
 	tagPageReq  = 21 << 16 // home: whole-page fetch request (to server)
 	tagPageResp = 22 << 16 // home: whole-page reply (to application)
+	tagMigReq   = 23 << 16 // home: new-home migration pull (to old home's server)
+	tagMigResp  = 24 << 16 // home: migration pull reply (to application)
 )
 
 // Wire-format size constants (bytes) for control payloads.
@@ -30,4 +32,8 @@ const (
 	pageReqPerPage = 8 // + one vector timestamp per page
 	pageRespHdr    = 8
 	pageRespPerVC  = 4 // per process entry of a piggybacked applied vector
+
+	// dirUpdateRecBytes is one home-directory update record (page id +
+	// new home) in barrier piggybacks and stale-home NACKs.
+	dirUpdateRecBytes = 8
 )

@@ -24,6 +24,9 @@ type arrivalMsg struct {
 	vc      []int32 // the arriver's vector clock (tells the manager what it lacks)
 	batches []proto.NoticeBatch
 	reduce  []float64 // optional barrier-merged reduction contribution (§8)
+	// dir carries the home policy's directory proposals of the closing
+	// epoch (home migration / first-touch claims) for arbitration.
+	dir []proto.DirUpdate
 }
 
 // departMsg is the manager's barrier-departure payload.
@@ -31,6 +34,10 @@ type departMsg struct {
 	batches []proto.NoticeBatch
 	payload any // loop-control data under the improved interface (§2.3)
 	reduce  []float64
+	// dir is the arbitrated home-directory update list of this epoch,
+	// identical in every departure: all nodes install the same homes
+	// before any post-barrier release can flush.
+	dir []proto.DirUpdate
 }
 
 // Barrier performs a full TreadMarks barrier: an RC release followed by
@@ -69,6 +76,17 @@ func (tm *Tmk) barrierReduce(reduce, reduceOut []float64, kind stats.Kind) {
 		}
 		return
 	}
+	// Close the home policy's accounting epoch. Proposals ride the
+	// arrival, the manager arbitrates, and the agreed updates ride the
+	// departures. The hook is skipped at a single node (every page is
+	// self-homed and homes never move) and on shutdown-kind barriers:
+	// measurement boundaries just stretch the epoch, and the teardown
+	// barrier must leave the system quiesced — a migration pull after
+	// the final departure would race the request servers' exit.
+	var props []proto.DirUpdate
+	if kind != stats.KindShutdown {
+		props = nd.prot.Rebalance()
+	}
 
 	if nd.id == 0 {
 		// Contributions are folded in node order, not arrival order:
@@ -76,13 +94,19 @@ func (tm *Tmk) barrierReduce(reduce, reduceOut []float64, kind stats.Kind) {
 		// summation must not (cross-protocol equivalence).
 		contribs := make([][]float64, n)
 		contribs[0] = reduce
+		nd.dirPending[0] = props
 		for i := 1; i < n; i++ {
 			m := p.Recv(sim.AnySrc, tagBarrierArrive+seq)
 			arr := m.Payload.(arrivalMsg)
 			nd.prot.ApplyBatches(arr.batches)
 			nd.setWorkerVC(m.Src, arr.vc)
 			contribs[m.Src] = arr.reduce
+			nd.dirPending[m.Src] = arr.dir
 			p.Advance(c.BarrierWork)
+		}
+		var updates []proto.DirUpdate
+		if kind != stats.KindShutdown {
+			updates = nd.drainDirProposals()
 		}
 		var acc []float64
 		for _, cv := range contribs {
@@ -97,22 +121,24 @@ func (tm *Tmk) barrierReduce(reduce, reduceOut []float64, kind stats.Kind) {
 		}
 		for w := 1; w < n; w++ {
 			batches := nd.prot.BatchSince(nd.workerVCAt(w))
-			bytes := 16 + proto.BatchBytes(batches) + len(acc)*8
-			dep := departMsg{batches: batches, reduce: acc}
+			bytes := 16 + proto.BatchBytes(batches) + len(acc)*8 + proto.DirUpdateBytes(updates)
+			dep := departMsg{batches: batches, reduce: acc, dir: updates}
 			p.Send(w, tagBarrierDepart+seq, dep, bytes, kind)
 		}
+		nd.prot.ApplyDirectory(updates, kind)
 		if reduceOut != nil {
 			copy(reduceOut, acc)
 		}
 	} else {
 		batches := nd.prot.OwnBatch(reported)
-		bytes := n*vcBytes + proto.BatchBytes(batches) + len(reduce)*8
-		arr := arrivalMsg{vc: vcCopy(nd.prot.VC()), batches: batches, reduce: reduce}
+		bytes := n*vcBytes + proto.BatchBytes(batches) + len(reduce)*8 + proto.DirUpdateBytes(props)
+		arr := arrivalMsg{vc: vcCopy(nd.prot.VC()), batches: batches, reduce: reduce, dir: props}
 		p.Send(0, tagBarrierArrive+seq, arr, bytes, kind)
 		m := p.Recv(0, tagBarrierDepart+seq)
 		dep := m.Payload.(departMsg)
 		nd.prot.ApplyBatches(dep.batches)
 		p.Advance(c.BarrierWork)
+		nd.prot.ApplyDirectory(dep.dir, kind)
 		if reduceOut != nil {
 			copy(reduceOut, dep.reduce)
 		}
@@ -143,14 +169,23 @@ func (tm *Tmk) Fork(ctrl any, ctrlBytes int) {
 	}
 	nd.prot.Release(stats.KindBarrier)
 	nd.lastReported = nd.prot.VC()[nd.id]
+	var updates []proto.DirUpdate
+	if n > 1 {
+		// The fork-join epoch hook: the workers' proposals arrived with
+		// their Joins; arbitrate them with the master's own and ship
+		// the agreed updates in the departures.
+		nd.dirPending[0] = nd.prot.Rebalance()
+		updates = nd.drainDirProposals()
+	}
 	seq := nd.barrierSeq % barrierSeqSpace
 	nd.barrierSeq++
 	for w := 1; w < n; w++ {
 		batches := nd.prot.BatchSince(nd.workerVCAt(w))
-		bytes := 16 + proto.BatchBytes(batches) + ctrlBytes
-		dep := departMsg{batches: batches, payload: ctrl}
+		bytes := 16 + proto.BatchBytes(batches) + ctrlBytes + proto.DirUpdateBytes(updates)
+		dep := departMsg{batches: batches, payload: ctrl, dir: updates}
 		p.Send(w, tagBarrierDepart+seq, dep, bytes, stats.KindBarrier)
 	}
+	nd.prot.ApplyDirectory(updates, stats.KindBarrier)
 }
 
 // WaitFork is the worker-side wait for the master's departure; it is an
@@ -170,6 +205,7 @@ func (tm *Tmk) WaitFork() any {
 	dep := m.Payload.(departMsg)
 	nd.prot.ApplyBatches(dep.batches)
 	p.Advance(nd.sys.costs.BarrierWork)
+	nd.prot.ApplyDirectory(dep.dir, stats.KindBarrier)
 	return dep.payload
 }
 
@@ -186,11 +222,12 @@ func (tm *Tmk) Join() {
 	reported := nd.lastReported
 	nd.prot.Release(stats.KindBarrier)
 	nd.lastReported = nd.prot.VC()[nd.id]
+	props := nd.prot.Rebalance()
 	seq := nd.barrierSeq % barrierSeqSpace
 	nd.barrierSeq++
 	batches := nd.prot.OwnBatch(reported)
-	bytes := nd.sys.nprocs*vcBytes + proto.BatchBytes(batches)
-	arr := arrivalMsg{vc: vcCopy(nd.prot.VC()), batches: batches}
+	bytes := nd.sys.nprocs*vcBytes + proto.BatchBytes(batches) + proto.DirUpdateBytes(props)
+	arr := arrivalMsg{vc: vcCopy(nd.prot.VC()), batches: batches, dir: props}
 	p.Send(0, tagBarrierArrive+seq, arr, bytes, stats.KindBarrier)
 }
 
@@ -212,8 +249,20 @@ func (tm *Tmk) Collect() {
 		arr := m.Payload.(arrivalMsg)
 		nd.prot.ApplyBatches(arr.batches)
 		nd.setWorkerVC(m.Src, arr.vc)
+		nd.dirPending[m.Src] = arr.dir
 		p.Advance(nd.sys.costs.BarrierWork)
 	}
+}
+
+// drainDirProposals arbitrates the gathered directory proposals of one
+// epoch (manager only): first proposal per page in node-id order wins,
+// the result is page-sorted and identical in every departure.
+func (nd *node) drainDirProposals() []proto.DirUpdate {
+	updates := proto.MergeDirProposals(nd.dirPending)
+	for i := range nd.dirPending {
+		nd.dirPending[i] = nil
+	}
+	return updates
 }
 
 // vcCopy snapshots a vector clock for a message payload.

@@ -37,6 +37,8 @@ type System struct {
 	costs    model.Costs
 	cluster  *sim.Cluster
 	protocol proto.Name
+	policy   proto.PolicyName
+	nodes    []*node
 }
 
 // Option configures a System.
@@ -48,6 +50,16 @@ func WithProtocol(name proto.Name) Option {
 	return func(s *System) {
 		if name != "" {
 			s.protocol = name
+		}
+	}
+}
+
+// WithHomePolicy selects the home-placement policy of the home-based
+// protocol (default: static). The homeless protocol ignores it.
+func WithHomePolicy(p proto.PolicyName) Option {
+	return func(s *System) {
+		if p != "" {
+			s.policy = p
 		}
 	}
 }
@@ -86,6 +98,22 @@ func (s *System) Costs() model.Costs { return s.costs }
 // Protocol returns the coherence protocol the system runs.
 func (s *System) Protocol() proto.Name { return s.protocol }
 
+// HomePolicy returns the home-placement policy the system runs (empty:
+// static, or a homeless system where homes do not exist).
+func (s *System) HomePolicy() proto.PolicyName { return s.policy }
+
+// ProtocolCounters returns the protocol event counts summed over every
+// node, for the whole run (warm-up included — home migrations mostly
+// happen in the first epochs, which the timed region excludes). Valid
+// after Run returns.
+func (s *System) ProtocolCounters() proto.Counters {
+	var out proto.Counters
+	for _, nd := range s.nodes {
+		out.Add(nd.prot.Counters())
+	}
+	return out
+}
+
 // Run executes body on every node's application process and returns when
 // all have finished. Region allocation must be performed inside body,
 // identically on every process (SPMD style), exactly as Fortran common
@@ -95,6 +123,7 @@ func (s *System) Run(body func(tm *Tmk)) error {
 	for i := range nodes {
 		nodes[i] = newNode(i, s)
 	}
+	s.nodes = nodes
 	return s.cluster.Run(func(p *sim.Proc) {
 		if p.ID() < s.nprocs {
 			tm := &Tmk{p: p, nd: nodes[p.ID()], sys: s}
@@ -142,6 +171,11 @@ type node struct {
 	// Synchronization bookkeeping.
 	lastReported int32     // own intervals reported to the barrier manager
 	workerVC     [][]int32 // manager only: last-known vc per worker
+	// dirPending gathers the home-policy directory proposals of one
+	// barrier epoch, indexed by proposing node (manager only). Full
+	// barriers consume them in place; the fork-join interface fills
+	// them at Collect and drains them at the next Fork.
+	dirPending [][]proto.DirUpdate
 
 	// Locks.
 	lockMgr  map[int]*lockManagerState // locks this node manages
@@ -168,12 +202,13 @@ func newNode(id int, s *System) *node {
 		lockMgr:  map[int]*lockManagerState{},
 		lockHold: map[int]*lockHolderState{},
 	}
-	nd.prot = proto.New(s.protocol, (*nodeHost)(nd))
+	nd.prot = proto.New(s.protocol, s.policy, (*nodeHost)(nd))
 	if id == 0 {
 		nd.workerVC = make([][]int32, s.nprocs)
 		for w := range nd.workerVC {
 			nd.workerVC[w] = make([]int32, s.nprocs)
 		}
+		nd.dirPending = make([][]proto.DirUpdate, s.nprocs)
 	}
 	return nd
 }

@@ -35,6 +35,27 @@
 // speedup, messages, bytes, checksum, queueing delay) for scripted
 // benchmarking.
 //
+// Observability (single run):
+//
+//	dsmrun -app MGS -version tmk -protocol hlrc -trace out.json -breakdown
+//
+// -trace FILE records the run's event trace (page faults, diff and page
+// traffic, barrier and lock synchronization, home migrations, NIC and
+// backplane queueing) and writes it as Chrome trace_event JSON, which
+// opens directly in Perfetto (ui.perfetto.dev) or chrome://tracing:
+// timeline processes are physical nodes, threads are the application
+// and request-server processes. -breakdown prints the per-node
+// virtual-time attribution of the timed region — compute, page-fault
+// stall, barrier wait, lock wait, message wait, contention queueing —
+// whose components sum exactly to each node's timed window. In sweep
+// mode -breakdown instead adds the summed bd_* fields to every record.
+// Observability never changes virtual times, message counts or byte
+// volumes: a traced run is bit-identical to an untraced one.
+//
+// -cpuprofile FILE and -memprofile FILE write runtime/pprof profiles of
+// the simulator itself (host CPU and heap, not virtual time), for
+// profiling the simulator's own performance on large sweeps.
+//
 // Sweep mode:
 //
 //	dsmrun -sweep "procs=1,2,4,8 protocol=lrc,hlrc" [-workers N]
@@ -57,10 +78,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/harness"
 	"repro/internal/proto"
 	"repro/internal/stats"
 )
@@ -78,8 +102,37 @@ func main() {
 	speedup := flag.Bool("speedup", false, "join sweep records with their sequential baselines (seq_ns/speedup fields)")
 	sweep := flag.String("sweep", "", `sweep axes, e.g. "procs=1,2,4,8 protocol=lrc,hlrc" (emits JSON-lines)`)
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: all host cores)")
+	trace := flag.String("trace", "", "write the run's event trace as Chrome trace_event JSON to this file (single run)")
+	breakdown := flag.Bool("breakdown", false, "print the per-node time attribution (single run) or add bd_* fields (sweep)")
+	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile of the simulator to this file")
+	memprofile := flag.String("memprofile", "", "write a host heap profile of the simulator to this file")
 	list := flag.Bool("list", false, "list applications and versions")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, a := range exp.Apps() {
@@ -126,8 +179,13 @@ func main() {
 	eng := exp.New()
 	eng.Workers = *workers
 	eng.JoinSpeedup = *speedup
+	eng.Observe = *trace != "" || *breakdown
 
 	if *sweep != "" || flag.NArg() > 0 {
+		if *trace != "" {
+			fmt.Fprintln(os.Stderr, "dsmrun: -trace is a single-run flag (a sweep has no single timeline)")
+			os.Exit(2)
+		}
 		tokens := append(strings.Fields(*sweep), flag.Args()...)
 		axes, err := exp.ParseAxes(tokens)
 		if err != nil {
@@ -146,6 +204,19 @@ func main() {
 	res, err := eng.Run(base.Normalize())
 	if err != nil {
 		fatal(err)
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Trace.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dsmrun: wrote %d trace events to %s (open in ui.perfetto.dev)\n", res.Trace.Len(), *trace)
 	}
 	var seq core.Result
 	haveSeq := false
@@ -188,6 +259,10 @@ func main() {
 	}
 	if haveSeq {
 		fmt.Printf("speedup   = %.2f (seq %v)\n", res.Speedup(seq.Time), seq.Time)
+	}
+	if *breakdown {
+		fmt.Println()
+		harness.BreakdownTable(os.Stdout, res)
 	}
 }
 

@@ -26,6 +26,14 @@
 // migration counts; -homepolicy selects the policy every *other*
 // experiment runs under when combined with -protocol hlrc.
 //
+// The breakdown experiment (-only breakdown) runs every figure version
+// of every application with observability on and prints the per-node
+// virtual-time attribution — compute vs page-fault stall vs barrier,
+// lock and message waits vs contention queueing — the event-trace
+// counterpart of the paper's §5/§6 overhead analysis. It runs on its
+// own observing engine, so the other experiments' cache stays
+// trace-free.
+//
 // The contention experiment (-only contention) sweeps the serial-NIC /
 // backplane contention model at 1-8 nodes for Jacobi, IGrid and NBF
 // under both protocols and all three runtimes. Independently,
@@ -52,7 +60,7 @@ func main() {
 	homepolicy := flag.String("homepolicy", "", "hlrc home-placement policy: static (default), firsttouch, or adaptive")
 	contention := flag.Int("contention", 0, "network contention: 0 off, -1 serial NICs only, N>0 serial NICs + N-way backplane")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: all host cores)")
-	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler,contention,migration)")
+	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler,contention,migration,breakdown)")
 	flag.Parse()
 
 	pname, err := proto.Parse(*protocol)
@@ -98,6 +106,15 @@ func main() {
 		"compiler":   func(w *os.File, r *harness.Runner) error { return harness.Compiler(w, r) },
 		"contention": func(w *os.File, r *harness.Runner) error { return harness.Contention(w, r) },
 		"migration":  func(w *os.File, r *harness.Runner) error { return harness.Migration(w, r) },
+		"breakdown": func(w *os.File, r *harness.Runner) error {
+			// A separate observing runner: traces are per-run state the
+			// shared cache must not carry for the other experiments.
+			or := harness.NewRunner(r.Procs, r.Scale)
+			or.Protocol, or.HomePolicy = r.Protocol, r.HomePolicy
+			or.Costs, or.App, or.Workers = r.Costs, r.App, r.Workers
+			or.Observe = true
+			return harness.Breakdown(w, or)
+		},
 	}
 	order := []string{"table1", "figure1", "table2", "figure2", "table3", "handopt", "interface"}
 	want := order
@@ -107,7 +124,7 @@ func main() {
 	for _, name := range want {
 		f, ok := table[strings.TrimSpace(name)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability, protocols, compiler, contention, migration)\n", name, strings.Join(order, ", "))
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability, protocols, compiler, contention, migration, breakdown)\n", name, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		run(name, f)

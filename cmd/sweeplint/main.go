@@ -17,6 +17,16 @@
 // Exit status: 0 when every record validates and none carries an error
 // (and the count matches -n, if given); 1 otherwise. CI's sweep smoke
 // job pipes a tiny cross-product through it.
+//
+// Trace mode:
+//
+//	dsmrun ... -trace out.json && sweeplint -trace < out.json
+//
+// -trace switches the input schema from JSON-lines sweep records to one
+// Chrome trace_event JSON document (the output of `dsmrun -trace`):
+// a traceEvents array whose entries carry a name and phase, pid/tid/ts
+// on every non-metadata event and a non-negative dur on complete
+// events. CI's trace smoke step pipes a 4-node run's trace through it.
 package main
 
 import (
@@ -27,12 +37,28 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
 	expected := flag.Int("n", -1, "expected record count (-1: any)")
 	speedup := flag.Bool("speedup", false, "require the seq-baseline join fields on every non-seq record")
+	trace := flag.Bool("trace", false, "validate a Chrome trace_event JSON document instead of sweep records")
 	flag.Parse()
+
+	if *trace {
+		events, err := obs.ValidateChrome(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweeplint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sweeplint: valid trace, %d events\n", events)
+		if *expected >= 0 && events != *expected {
+			fmt.Fprintf(os.Stderr, "sweeplint: got %d events, want %d\n", events, *expected)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)

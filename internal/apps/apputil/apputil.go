@@ -44,10 +44,12 @@ func RunSeq(app string, cfg core.Config, setup func(tm *tmk.Tmk) SeqProgram) (co
 	if err != nil {
 		return core.Result{}, err
 	}
-	return core.Result{
+	res := core.Result{
 		App: app, Version: core.Seq, Procs: 1,
 		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
-	}, nil
+	}
+	core.AttachObs(&res, cfg.Costs.Trace, reg, 1)
+	return res, nil
 }
 
 // TmkProgram is a hand-coded TreadMarks program. Iterate runs on every
@@ -106,6 +108,7 @@ func RunTmk(app string, v core.Version, cfg core.Config, setup func(tm *tmk.Tmk)
 		res.WriteTime += pr.Write
 	}
 	addPolicyActivity(&res, sys)
+	core.AttachObs(&res, cfg.Costs.Trace, reg, cfg.Procs)
 	return res, nil
 }
 
@@ -167,6 +170,7 @@ func RunSPF(app string, v core.Version, cfg core.Config, opts spf.Options,
 		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
 	}
 	addPolicyActivity(&res, sys)
+	core.AttachObs(&res, cfg.Costs.Trace, reg, cfg.Procs)
 	return res, nil
 }
 
@@ -211,10 +215,12 @@ func RunPVM(app string, v core.Version, cfg core.Config, setup func(pv *pvm.PVM)
 	if err != nil {
 		return core.Result{}, err
 	}
-	return core.Result{
+	res := core.Result{
 		App: app, Version: v, Procs: cfg.Procs,
 		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
-	}, nil
+	}
+	core.AttachObs(&res, cfg.Costs.Trace, reg, cfg.Procs)
+	return res, nil
 }
 
 // XHPFProgram is a compiler-generated SPMD message-passing program.
@@ -258,10 +264,12 @@ func RunXHPF(app string, v core.Version, cfg core.Config, setup func(x *xhpf.XHP
 	if err != nil {
 		return core.Result{}, err
 	}
-	return core.Result{
+	res := core.Result{
 		App: app, Version: v, Procs: cfg.Procs,
 		Time: reg.Elapsed(), Stats: reg.Traffic(), Checksum: sum,
-	}, nil
+	}
+	core.AttachObs(&res, cfg.Costs.Trace, reg, cfg.Procs)
+	return res, nil
 }
 
 // BlockOf returns processor p's block [lo,hi) of extent n under BLOCK

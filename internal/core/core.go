@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -126,6 +127,15 @@ type Result struct {
 	Migrations           int64
 	RedirectedFlushBytes int64
 	StaleForwards        int64
+
+	// Breakdown is the per-node virtual-time attribution of the timed
+	// region (observability runs only — nil when the run's cost model
+	// carried no trace). Each node's components sum exactly to its timed
+	// window; obs.Sum aggregates across nodes.
+	Breakdown []obs.NodeBreakdown
+	// Trace is the run's full event trace (observability runs only).
+	// Exported with obs.(*Trace).WriteChrome.
+	Trace *obs.Trace
 }
 
 // QueueTime returns the contention queueing delay accumulated over the
@@ -250,4 +260,36 @@ func (r *Region) Traffic() stats.Stats {
 		out.Sub(&r.base)
 	}
 	return out
+}
+
+// NProcs returns the number of processes the region tracks.
+func (r *Region) NProcs() int { return len(r.start) }
+
+// Window returns process id's timed window as [start, end] virtual
+// nanoseconds, for obs.(*Trace).Attribute.
+func (r *Region) Window(id int) [2]int64 {
+	return [2]int64{int64(r.start[id]), int64(r.end[id])}
+}
+
+// AttachObs fills a result's observability fields from a run's trace and
+// timed region: the trace rides along for export, and the region's
+// per-process windows become per-node breakdowns. A single-process
+// region under a multi-node run (the SPF master-only window) is
+// replicated to every node: the fork-join versions time only the master,
+// but every node's activity spans the same window. A nil trace attaches
+// nothing.
+func AttachObs(res *Result, tr *obs.Trace, reg *Region, nodes int) {
+	if !tr.Enabled() {
+		return
+	}
+	windows := make([][2]int64, nodes)
+	for i := range windows {
+		if reg.NProcs() == 1 {
+			windows[i] = reg.Window(0)
+		} else {
+			windows[i] = reg.Window(i)
+		}
+	}
+	res.Trace = tr
+	res.Breakdown = tr.Attribute(windows)
 }

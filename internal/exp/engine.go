@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Engine executes specs against one machine calibration, fanning
@@ -35,6 +36,12 @@ type Engine struct {
 	// JSON-lines stream carries seq_ns/seq_seconds/speedup and plots
 	// need no post-join.
 	JoinSpeedup bool
+	// Observe gives every run its own obs.Trace, attaching the per-node
+	// time breakdown (and the trace itself) to each core.Result and the
+	// bd_* fields to each record. Off by default: observability never
+	// changes virtual times or traffic, but the default keeps sweep
+	// output byte-identical with earlier releases.
+	Observe bool
 	// Lookup resolves application names; nil means the built-in
 	// registry (AppByName).
 	Lookup func(name string) (core.App, error)
@@ -109,7 +116,13 @@ func (e *Engine) execute(s Spec) (core.Result, error) {
 	if err != nil {
 		return core.Result{}, err
 	}
-	res, err := a.Run(s.Version, e.Config(a, s))
+	cfg := e.Config(a, s)
+	if e.Observe {
+		// Per run, not per engine: the trace buffer is single-run state
+		// and concurrent sweep workers must not share one.
+		cfg.Costs.Trace = obs.New()
+	}
+	res, err := a.Run(s.Version, cfg)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("%s/%s: %w", s.App, s.Version, err)
 	}

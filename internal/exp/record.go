@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/stats"
 )
@@ -46,6 +47,21 @@ type Record struct {
 	// QueueKindNanos splits the queueing delay by traffic category
 	// (barrier storms vs page fetches vs data shifts).
 	QueueKindNanos map[string]int64 `json:"queue_kind_ns,omitempty"`
+
+	// Per-node time attribution summed over nodes (engine option
+	// Observe): the timed windows' total virtual time decomposed into
+	// compute, page-fault stall, barrier wait, lock wait, explicit
+	// message wait, contention queueing and untracked waits. The
+	// components sum exactly to bd_total_ns. All absent when
+	// observability is off.
+	BDTotalNanos   int64 `json:"bd_total_ns,omitempty"`
+	BDComputeNanos int64 `json:"bd_compute_ns,omitempty"`
+	BDFaultNanos   int64 `json:"bd_fault_ns,omitempty"`
+	BDBarrierNanos int64 `json:"bd_barrier_ns,omitempty"`
+	BDLockNanos    int64 `json:"bd_lock_ns,omitempty"`
+	BDDataNanos    int64 `json:"bd_data_ns,omitempty"`
+	BDQueueNanos   int64 `json:"bd_queue_ns,omitempty"`
+	BDOtherNanos   int64 `json:"bd_other_ns,omitempty"`
 
 	// Home-policy activity, whole-run sums over nodes (home-based
 	// protocol under a migrating policy only; zero and omitted under
@@ -94,6 +110,17 @@ func RecordOf(s Spec, res core.Result, err error) Record {
 			}
 			rec.QueueKindNanos[k.String()] = n
 		}
+	}
+	if res.Breakdown != nil {
+		bd := obs.Sum(res.Breakdown)
+		rec.BDTotalNanos = bd.Total
+		rec.BDComputeNanos = bd.Compute
+		rec.BDFaultNanos = bd.Fault
+		rec.BDBarrierNanos = bd.Barrier
+		rec.BDLockNanos = bd.Lock
+		rec.BDDataNanos = bd.Data
+		rec.BDQueueNanos = bd.Queue
+		rec.BDOtherNanos = bd.Other
 	}
 	rec.Migrations = res.Migrations
 	rec.RedirectedFlushBytes = res.RedirectedFlushBytes
@@ -165,6 +192,18 @@ func (r Record) Validate() error {
 	}
 	if r.Contention == 0 && r.QueueNanos != 0 {
 		return fmt.Errorf("exp: queueing delay without contention in record %s", r.Key())
+	}
+	if r.BDTotalNanos < 0 || r.BDComputeNanos < 0 || r.BDFaultNanos < 0 || r.BDBarrierNanos < 0 ||
+		r.BDLockNanos < 0 || r.BDDataNanos < 0 || r.BDQueueNanos < 0 || r.BDOtherNanos < 0 {
+		return fmt.Errorf("exp: negative time-attribution component in record %s", r.Key())
+	}
+	bdSum := r.BDComputeNanos + r.BDFaultNanos + r.BDBarrierNanos +
+		r.BDLockNanos + r.BDDataNanos + r.BDQueueNanos + r.BDOtherNanos
+	if bdSum != r.BDTotalNanos {
+		return fmt.Errorf("exp: time-attribution components %d != total %d in record %s", bdSum, r.BDTotalNanos, r.Key())
+	}
+	if r.Contention == 0 && r.BDQueueNanos != 0 {
+		return fmt.Errorf("exp: queueing attribution without contention in record %s", r.Key())
 	}
 	if r.Migrations < 0 || r.RedirectedFlushBytes < 0 || r.StaleForwards < 0 {
 		return fmt.Errorf("exp: negative home-policy activity in record %s", r.Key())

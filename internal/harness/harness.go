@@ -50,6 +50,9 @@ type Runner struct {
 	HomePolicy proto.PolicyName
 	// Workers bounds the engine's worker pool (0: all host cores).
 	Workers int
+	// Observe enables per-run observability (see exp.Engine.Observe):
+	// every result carries its event trace and per-node time breakdown.
+	Observe bool
 
 	eng *exp.Engine
 }
@@ -72,6 +75,7 @@ func (r *Runner) Engine() *exp.Engine {
 	if r.eng == nil {
 		r.eng = exp.NewEngine(r.Costs, r.App)
 		r.eng.Workers = r.Workers
+		r.eng.Observe = r.Observe
 	}
 	return r.eng
 }

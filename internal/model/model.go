@@ -18,7 +18,10 @@
 // moderate changes in these constants (see the sensitivity benchmarks).
 package model
 
-import "repro/internal/sim"
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // PageSize is the DSM page size in bytes, matching AIX's 4 KB pages.
 const PageSize = 4096
@@ -41,6 +44,15 @@ type Costs struct {
 	// full-rate transfers. See internal/sim's contention model.
 	SerialNIC     bool
 	BackplaneWays int
+
+	// Trace, when non-nil, enables observability: the simulator and the
+	// protocol layers append typed events (waits, queueing spans, fault
+	// repairs, barrier/lock sync, home migrations) to it as the run
+	// executes. Emission never advances virtual time, so enabling a
+	// trace leaves every virtual time, message count and byte volume
+	// bit-identical. Each run needs its own instance (the event buffer
+	// is single-run state).
+	Trace *obs.Trace
 
 	// FIFOPairs opts in to non-overtaking delivery within each
 	// (src, dst) process pair, as the real PVMe/MPL transports
@@ -166,10 +178,15 @@ func (c Costs) SimConfigNodes(procs, nodes int) sim.Config {
 		HeaderBytes:   c.HeaderBytes,
 		BackplaneWays: c.BackplaneWays,
 		FIFOPairs:     c.FIFOPairs,
+		Trace:         c.Trace,
 	}
 	if c.SerialNIC {
 		cfg.Nodes = nodes
 	}
+	// Every runtime builds its simulator through here, so this is the
+	// one place the trace learns the machine shape (procs = 2*nodes
+	// marks the upper half as request-server processes).
+	c.Trace.SetTopology(procs, nodes)
 	return cfg
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -286,6 +287,14 @@ func (hb *home) FetchAggregated(gps []int32) {
 	if len(perHome) == 0 {
 		return
 	}
+	peers := 0
+	if tr := c.Trace; tr.Enabled() {
+		start := int64(p.Now())
+		first := perHome[sortedHomes(perHome)[0]][0]
+		defer func() {
+			tr.Span(obs.EvFault, p.ID(), start, int64(p.Now())-start, stats.KindPage, first, int64(peers))
+		}()
+	}
 	p.Advance(c.ReadFault) // one access miss covers the whole range
 	hb.ctr.Faults++
 	for round := 0; len(perHome) > 0; round++ {
@@ -300,6 +309,8 @@ func (hb *home) FetchAggregated(gps []int32) {
 			}
 			bytes := pageReqHdr + len(req.pages)*(pageReqPerPage+pageRespPerVC*hb.nprocs)
 			p.Send(hb.h.ServerOf(hm), tagPageReq, req, bytes, stats.KindPageReq)
+			peers++
+			c.Trace.Instant(obs.EvPageReq, p.ID(), int64(p.Now()), stats.KindPageReq, perHome[hm][0], int64(hm))
 		}
 		next := map[int][]int32{}
 		for _, hm := range homes {
@@ -354,6 +365,7 @@ func (hb *home) installPage(p *sim.Proc, pg pageCopy, local map[int32]any) {
 	pc := &hb.pages[pg.page]
 	hb.h.InstallPage(pg.page, pg.data)
 	hb.ctr.PageFetches++
+	c.Trace.Instant(obs.EvPageFetch, p.ID(), int64(p.Now()), stats.KindPage, pg.page, 0)
 	for q := 0; q < hb.nprocs; q++ {
 		if q != hb.id && pg.applied[q] > pc.applied[q] {
 			pc.applied[q] = pg.applied[q]
@@ -389,12 +401,20 @@ func (hb *home) ApplyDirectory(us []DirUpdate, kind stats.Kind) {
 	}
 	hb.pol.Apply(us)
 	hb.dirEpoch++
+	tr := hb.h.Costs().Trace
+	if tr.Enabled() && hb.id == 0 {
+		// One epoch marker per directory decision, on the manager node.
+		tr.Instant(obs.EvMigrationEpoch, hb.h.AppProc().ID(), int64(hb.h.AppProc().Now()), kind, -1, int64(len(us)))
+	}
 	perOld := map[int][]int32{}
 	for i, u := range us {
 		if int(u.Home) != hb.id || olds[i] == hb.id {
 			continue
 		}
 		hb.ctr.Migrations++
+		if tr.Enabled() {
+			tr.Instant(obs.EvHomeMove, hb.h.AppProc().ID(), int64(hb.h.AppProc().Now()), kind, u.Page, int64(olds[i]))
+		}
 		if hb.pages[u.Page].invalid() {
 			perOld[olds[i]] = append(perOld[olds[i]], u.Page)
 			hb.pulls[u.Page] = &pullState{}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -194,13 +195,19 @@ func (hl *homeless) recsSinceSeq(gp, fromSeq int32) []*diffRec {
 func (hl *homeless) Fault(gp int32) {
 	p := hl.h.AppProc()
 	c := hl.h.Costs()
+	var writers []int
+	if tr := c.Trace; tr.Enabled() {
+		start := int64(p.Now())
+		defer func() {
+			tr.Span(obs.EvFault, p.ID(), start, int64(p.Now())-start, stats.KindPage, gp, int64(len(writers)))
+		}()
+	}
 	p.Advance(c.ReadFault)
 	hl.ctr.Faults++
 	hl.extractPending(gp, p)
 
 	pc := &hl.pages[gp]
 	mp := &hl.meta[gp]
-	var writers []int
 	for q := 0; q < hl.nprocs; q++ {
 		if q == hl.id || pc.notice[q] <= pc.applied[q] {
 			continue
@@ -208,6 +215,7 @@ func (hl *homeless) Fault(gp int32) {
 		writers = append(writers, q)
 		req := diffRequest{pages: []pageAsk{{page: gp, fromSeq: mp.appliedSeq[q]}}}
 		p.Send(hl.h.ServerOf(q), tagDiffReq, req, diffReqHdr+diffReqPerPage, stats.KindDiffReq)
+		c.Trace.Instant(obs.EvDiffReq, p.ID(), int64(p.Now()), stats.KindDiffReq, gp, int64(q))
 	}
 	hl.collectAndApply(writers, []int32{gp})
 }
@@ -238,9 +246,15 @@ func (hl *homeless) FetchAggregated(gps []int32) {
 	if len(perWriter) == 0 {
 		return
 	}
+	writers := make([]int, 0, len(perWriter))
+	if tr := c.Trace; tr.Enabled() {
+		start := int64(p.Now())
+		defer func() {
+			tr.Span(obs.EvFault, p.ID(), start, int64(p.Now())-start, stats.KindPage, pages[0], int64(len(writers)))
+		}()
+	}
 	p.Advance(c.ReadFault) // one access miss covers the whole range
 	hl.ctr.Faults++
-	writers := make([]int, 0, len(perWriter))
 	for q := range perWriter {
 		writers = append(writers, q)
 	}
@@ -249,6 +263,7 @@ func (hl *homeless) FetchAggregated(gps []int32) {
 		req := diffRequest{pages: perWriter[q]}
 		bytes := diffReqHdr + len(req.pages)*diffReqPerPage
 		p.Send(hl.h.ServerOf(q), tagDiffReq, req, bytes, stats.KindDiffReq)
+		c.Trace.Instant(obs.EvDiffReq, p.ID(), int64(p.Now()), stats.KindDiffReq, -1, int64(q))
 	}
 	hl.collectAndApply(writers, pages)
 }
@@ -269,6 +284,7 @@ func (hl *homeless) collectAndApply(writers []int, pages []int32) {
 	var all []recFrom
 	for _, q := range writers {
 		m := p.Recv(hl.h.ServerOf(q), tagDiffResp)
+		c.Trace.Instant(obs.EvDiffReply, p.ID(), int64(p.Now()), stats.KindDiff, -1, int64(q))
 		for _, r := range m.Payload.(diffResponse).recs {
 			all = append(all, recFrom{writer: q, rec: r})
 		}

@@ -9,6 +9,7 @@ package pvm
 
 import (
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -215,6 +216,12 @@ func AllReduce[T Scalar](pv *PVM, tag int, vals []T, op func(a, b T) T) []T {
 // untracked category; the measurement harness uses it for timed-region
 // boundaries.
 func (pv *PVM) BarrierSilent(tag int) {
+	if tr := pv.sys.costs.Trace; tr.Enabled() {
+		tr.Instant(obs.EvBarrierArrive, pv.ID(), int64(pv.Now()), stats.KindShutdown, -1, int64(tag))
+		defer func() {
+			tr.Instant(obs.EvBarrierDepart, pv.ID(), int64(pv.Now()), stats.KindShutdown, -1, int64(tag))
+		}()
+	}
 	if pv.ID() == 0 {
 		for i := 0; i < pv.sys.nprocs-1; i++ {
 			pv.p.Recv(AnySrc, tagBase+tag)
@@ -246,6 +253,12 @@ func RecvUntracked[T Scalar](pv *PVM, src, tag int, dst []T) int {
 // Hand-coded message-passing programs rarely need it — data messages
 // carry the synchronization — but the XHPF runtime uses it.
 func (pv *PVM) Barrier(tag int) {
+	if tr := pv.sys.costs.Trace; tr.Enabled() {
+		tr.Instant(obs.EvBarrierArrive, pv.ID(), int64(pv.Now()), stats.KindData, -1, int64(tag))
+		defer func() {
+			tr.Instant(obs.EvBarrierDepart, pv.ID(), int64(pv.Now()), stats.KindData, -1, int64(tag))
+		}()
+	}
 	one := []int32{0}
 	if pv.ID() == 0 {
 		buf := []int32{0}

@@ -53,6 +53,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -157,6 +158,14 @@ type Config struct {
 
 	// Stats receives per-message accounting. Optional.
 	Stats *stats.Stats
+
+	// Trace, when non-nil, receives observability events: a wait span
+	// for every Recv clock jump (categorized by the received message's
+	// kind, carrying the contention-queueing share) and a queueing span
+	// for every message that waited for a busy link. Emission never
+	// advances virtual time: a traced run's virtual times, message
+	// counts and byte volumes are bit-identical to an untraced one.
+	Trace *obs.Trace
 }
 
 type procState uint8
@@ -468,6 +477,7 @@ func (p *Proc) Send(dst, tag int, payload any, payloadBytes int, kind stats.Kind
 	c.stats.Record(kind, wire)
 	if queued > 0 {
 		c.stats.RecordQueue(c.NodeOf(p.id), int64(queued), binder, kind)
+		c.cfg.Trace.Span(obs.EvQueue, p.id, int64(p.clock), int64(queued), kind, -1, int64(binder))
 	}
 	// Keep the horizon honest under contention: this send may let dst
 	// act as early as m.Deliver, but the horizon handed to this process
@@ -572,6 +582,19 @@ func (p *Proc) Recv(src, tag int) *Message {
 			if m.Deliver <= p.horizon {
 				p.inbox = append(p.inbox[:i], p.inbox[i+1:]...)
 				if m.Deliver > p.clock {
+					// The clock jump is the process's idle wait for this
+					// message: the fundamental stall the per-node time
+					// attribution is built from. The contention-queueing
+					// share rides along (clamped: delivery pipelining can
+					// hide part of the queueing behind the wait).
+					if tr := p.c.cfg.Trace; tr != nil {
+						wait := int64(m.Deliver - p.clock)
+						q := int64(m.Queued)
+						if q > wait {
+							q = wait
+						}
+						tr.Span(obs.EvWait, p.id, int64(p.clock), wait, m.Kind, -1, q)
+					}
 					p.clock = m.Deliver
 				}
 				p.Advance(p.c.cfg.RecvOverhead)

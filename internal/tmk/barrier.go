@@ -1,6 +1,7 @@
 package tmk
 
 import (
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -70,6 +71,12 @@ func (tm *Tmk) barrierReduce(reduce, reduceOut []float64, kind stats.Kind) {
 	nd.lastReported = nd.prot.VC()[nd.id]
 	seq := nd.barrierSeq % barrierSeqSpace
 	nd.barrierSeq++
+	if tr := c.Trace; tr.Enabled() {
+		tr.Instant(obs.EvBarrierArrive, p.ID(), int64(p.Now()), kind, -1, int64(seq))
+		defer func() {
+			tr.Instant(obs.EvBarrierDepart, p.ID(), int64(p.Now()), kind, -1, int64(seq))
+		}()
+	}
 	if n == 1 {
 		if reduceOut != nil {
 			copy(reduceOut, reduce)
@@ -186,6 +193,7 @@ func (tm *Tmk) Fork(ctrl any, ctrlBytes int) {
 		p.Send(w, tagBarrierDepart+seq, dep, bytes, stats.KindBarrier)
 	}
 	nd.prot.ApplyDirectory(updates, stats.KindBarrier)
+	nd.sys.costs.Trace.Instant(obs.EvBarrierDepart, p.ID(), int64(p.Now()), stats.KindBarrier, -1, int64(seq))
 }
 
 // WaitFork is the worker-side wait for the master's departure; it is an
@@ -206,6 +214,7 @@ func (tm *Tmk) WaitFork() any {
 	nd.prot.ApplyBatches(dep.batches)
 	p.Advance(nd.sys.costs.BarrierWork)
 	nd.prot.ApplyDirectory(dep.dir, stats.KindBarrier)
+	nd.sys.costs.Trace.Instant(obs.EvBarrierDepart, p.ID(), int64(p.Now()), stats.KindBarrier, -1, int64(seq))
 	return dep.payload
 }
 
@@ -229,6 +238,7 @@ func (tm *Tmk) Join() {
 	bytes := nd.sys.nprocs*vcBytes + proto.BatchBytes(batches) + proto.DirUpdateBytes(props)
 	arr := arrivalMsg{vc: vcCopy(nd.prot.VC()), batches: batches, dir: props}
 	p.Send(0, tagBarrierArrive+seq, arr, bytes, stats.KindBarrier)
+	nd.sys.costs.Trace.Instant(obs.EvBarrierArrive, p.ID(), int64(p.Now()), stats.KindBarrier, -1, int64(seq))
 }
 
 // Collect is the master-side join: it gathers the workers' arrivals,
@@ -244,6 +254,7 @@ func (tm *Tmk) Collect() {
 	}
 	seq := nd.barrierSeq % barrierSeqSpace
 	nd.barrierSeq++
+	nd.sys.costs.Trace.Instant(obs.EvBarrierArrive, p.ID(), int64(p.Now()), stats.KindBarrier, -1, int64(seq))
 	for i := 1; i < n; i++ {
 		m := p.Recv(sim.AnySrc, tagBarrierArrive+seq)
 		arr := m.Payload.(arrivalMsg)

@@ -3,6 +3,7 @@ package tmk
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -67,6 +68,12 @@ func (tm *Tmk) AcquireLock(id int) {
 	mgr := id % nd.sys.nprocs
 	startT := p.Now()
 	defer func() { nd.LockTime += p.Now() - startT }()
+	if tr := c.Trace; tr.Enabled() {
+		tr.Instant(obs.EvLockRequest, p.ID(), int64(p.Now()), stats.KindLock, -1, int64(id))
+		defer func() {
+			tr.Instant(obs.EvLockGrant, p.ID(), int64(p.Now()), stats.KindLock, -1, int64(id))
+		}()
+	}
 
 	if nd.id == mgr {
 		// We are the manager: handle the request locally.

@@ -24,6 +24,7 @@ package xhpf
 
 import (
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pvm"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -83,6 +84,23 @@ func (x *XHPF) chargeSection(bytes int) {
 	x.pv.Advance(x.pv.Costs().SectionCost(bytes))
 }
 
+// collective opens an EvCollective trace span covering one runtime
+// collective and returns its closer: `defer x.collective(obs.CollBcast,
+// stats.KindData)()`. Disabled tracing returns a shared no-op closer
+// without reading the clock.
+func (x *XHPF) collective(op int64, kind stats.Kind) func() {
+	tr := x.pv.Costs().Trace
+	if !tr.Enabled() {
+		return nopClose
+	}
+	start := int64(x.Now())
+	return func() {
+		tr.Span(obs.EvCollective, x.ID(), start, int64(x.Now())-start, kind, -1, op)
+	}
+}
+
+func nopClose() {}
+
 // Block returns this processor's owned block [lo,hi) of a dimension of
 // extent n under BLOCK distribution.
 func (x *XHPF) Block(n int) (lo, hi int) {
@@ -113,6 +131,7 @@ func OwnerOf(i, nprocs, n int) int {
 // LoopSync is the synchronization the generated code performs at a
 // parallel-loop boundary: a runtime barrier, 2(n-1) messages.
 func (x *XHPF) LoopSync() {
+	defer x.collective(obs.CollLoopSync, stats.KindData)()
 	x.seq += 2
 	x.pv.Barrier(1<<12 + x.seq)
 }
@@ -146,6 +165,7 @@ const chunkTagStride = 1 << 20
 func chunkTag(base, idx int) int { return base + idx*chunkTagStride }
 
 func BroadcastPartition[T pvm.Scalar](x *XHPF, arr []T, extent, elemSize int) {
+	defer x.collective(obs.CollPartition, stats.KindData)()
 	x.seq += 2
 	tag := 1<<13 + x.seq
 	chunk := chunkBytes / elemSize
@@ -180,6 +200,7 @@ func BroadcastPartition[T pvm.Scalar](x *XHPF, arr []T, extent, elemSize int) {
 // contribution on entry; on return parts[q] holds processor q's buffer
 // on every processor, so callers can combine in a deterministic order.
 func BroadcastGather[T pvm.Scalar](x *XHPF, parts [][]T) {
+	defer x.collective(obs.CollGather, stats.KindData)()
 	x.seq += 2
 	tag := 1<<13 + x.seq
 	chunk := chunkBytes / 4
@@ -223,6 +244,7 @@ func ExchangeHalo[T pvm.Scalar](x *XHPF, arr []T, extent, width int) {
 // with the flat element blocks of ExchangeHalo, the messages are
 // byte-identical.
 func ExchangeHaloBlocks[T pvm.Scalar](x *XHPF, arr []T, extent, width int, blockOf func(q int) (lo, hi int)) {
+	defer x.collective(obs.CollHalo, stats.KindData)()
 	x.seq += 2
 	tag := 1<<13 + x.seq
 	me := x.ID()
@@ -259,6 +281,7 @@ func ExchangeHaloBlocks[T pvm.Scalar](x *XHPF, arr []T, extent, width int, block
 // of sectionLen elements, one message per chunk.
 func SectionAllToAll[T pvm.Scalar](x *XHPF, sectionLen, elemSize int,
 	sectionsFor func(dst int) [][]T, placeFor func(src int) [][]T) {
+	defer x.collective(obs.CollAllToAll, stats.KindData)()
 	x.seq += 2
 	tag := 1<<13 + x.seq
 	me := x.ID()
@@ -298,6 +321,7 @@ func SectionAllToAll[T pvm.Scalar](x *XHPF, sectionLen, elemSize int,
 // data updated under owner-computes ships it to every processor before
 // replicated sequential code uses it.
 func Bcast[T pvm.Scalar](x *XHPF, root int, vals []T) {
+	defer x.collective(obs.CollBcast, stats.KindData)()
 	x.seq += 2
 	x.chargeSection(len(vals) * 4)
 	pvm.Bcast(x.pv, root, 1<<13+x.seq, vals)
@@ -306,6 +330,7 @@ func Bcast[T pvm.Scalar](x *XHPF, root int, vals []T) {
 // BoundarySync is an untracked barrier for measurement-region
 // boundaries (harness infrastructure, not generated code).
 func (x *XHPF) BoundarySync() {
+	defer x.collective(obs.CollBarrier, stats.KindShutdown)()
 	x.seq += 2
 	x.pv.BarrierSilent(1<<12 + x.seq)
 }
@@ -314,6 +339,7 @@ func (x *XHPF) BoundarySync() {
 // rebroadcast, so the replicated sequential code has the value
 // everywhere.
 func AllReduceSum[T pvm.Scalar](x *XHPF, vals []T) []T {
+	defer x.collective(obs.CollReduce, stats.KindData)()
 	x.seq += 4
 	return pvm.AllReduceSum(x.pv, 1<<13+x.seq, vals)
 }
@@ -321,6 +347,7 @@ func AllReduceSum[T pvm.Scalar](x *XHPF, vals []T) []T {
 // AllReduceWith is a recognized reduction with an arbitrary operator
 // (MAX, MIN): folded to processor 0 and rebroadcast.
 func AllReduceWith[T pvm.Scalar](x *XHPF, vals []T, op func(a, b T) T) []T {
+	defer x.collective(obs.CollReduce, stats.KindData)()
 	x.seq += 4
 	return pvm.AllReduce(x.pv, 1<<13+x.seq, vals, op)
 }
@@ -329,6 +356,7 @@ func AllReduceWith[T pvm.Scalar](x *XHPF, vals []T, op func(a, b T) T) []T {
 // decomposition, for distributions that do not coincide with a flat
 // element block (e.g. whole-row blocks over a ragged row count).
 func BroadcastBlocks[T pvm.Scalar](x *XHPF, arr []T, blockOf func(q int) (lo, hi int), elemSize int) {
+	defer x.collective(obs.CollPartition, stats.KindData)()
 	x.seq += 2
 	tag := 1<<13 + x.seq
 	chunk := chunkBytes / elemSize

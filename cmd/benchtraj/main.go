@@ -19,10 +19,18 @@
 // observability on, so every record also carries the bd_* time
 // attribution; attribution drift with unchanged time is gated too — it
 // means the breakdown, not the simulation, changed.
+//
+// Trajectory files built with -out additionally record each run's host
+// wall time as host_ns. It is informational only — host time depends
+// on the machine and its load — so -gate and -diff never compare it;
+// it exists to let successive BENCH_<n>.json files tell the story of
+// the simulator's own performance alongside the virtual results.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -141,17 +149,35 @@ func engine(workers int) *exp.Engine {
 	return e
 }
 
-// build runs the golden set and writes the trajectory file.
+// build runs the golden set and writes the trajectory file, attaching
+// the informational host_ns to every record (the one writer that sets
+// it; the engine's Stream path never does, keeping sweep output
+// byte-identical across hosts).
 func build(path string, workers int) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := engine(workers).Stream(f, goldenSpecs()); err != nil {
-		f.Close()
+	e := engine(workers)
+	specs := goldenSpecs()
+	e.Sweep(specs) //nolint:errcheck // failures surface as error records below
+	enc := json.NewEncoder(f)
+	var errs []error
+	for _, s := range specs {
+		rec := e.Record(s)
+		rec.HostNanos = e.HostRunNanos(s)
+		if rec.Error != "" {
+			errs = append(errs, errors.New(rec.Error))
+		}
+		if werr := enc.Encode(rec); werr != nil {
+			f.Close()
+			return werr
+		}
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
-	return f.Close()
+	return errors.Join(errs...)
 }
 
 // load reads a trajectory file into records indexed by spec key,

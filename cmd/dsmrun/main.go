@@ -55,6 +55,25 @@
 // -cpuprofile FILE and -memprofile FILE write runtime/pprof profiles of
 // the simulator itself (host CPU and heap, not virtual time), for
 // profiling the simulator's own performance on large sweeps.
+// -blockprofile FILE and -mutexprofile FILE likewise write goroutine
+// blocking and mutex contention profiles; the corresponding runtime
+// sampling rates are enabled only when the flags are given.
+//
+// Host telemetry:
+//
+//	dsmrun -scale mid -sweep "app=Jacobi procs=1,2,4,8" -metrics-addr :9090 -progress
+//
+// -metrics-addr serves live host-side telemetry over HTTP for the
+// duration of the process: /metrics (Prometheus text format 0.0.4 —
+// engine cache hit/miss/wait counters, in-flight and completed run
+// gauges, worker busy/idle time, per-(app, version) host wall-time and
+// allocation histograms, simulator dispatch/delivery totals),
+// /debug/pprof/* (live profiling), and /progress (a JSON sweep
+// progress snapshot). -progress prints a throttled progress line
+// (done/total runs, cache hits, elapsed, ETA) to stderr. -metrics-dump
+// FILE writes a final JSON snapshot of the registry at exit. All of it
+// is host-side observability: virtual times, traffic, checksums and
+// the sweep's JSON-lines bytes are identical with or without it.
 //
 // Sweep mode:
 //
@@ -77,6 +96,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -85,6 +106,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/stats"
 )
@@ -106,6 +128,11 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "print the per-node time attribution (single run) or add bd_* fields (sweep)")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a host heap profile of the simulator to this file")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/pprof/* and /progress on this address (e.g. :9090)")
+	progress := flag.Bool("progress", false, "print a throttled sweep progress line to stderr")
+	metricsDump := flag.String("metrics-dump", "", "write a final JSON snapshot of the metrics registry to this file")
 	list := flag.Bool("list", false, "list applications and versions")
 	flag.Parse()
 
@@ -132,6 +159,16 @@ func main() {
 				fatal(err)
 			}
 		}()
+	}
+	// Block/mutex sampling costs the runtime something, so the rates are
+	// raised only when the profiles were asked for.
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockprofile)
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexprofile)
 	}
 
 	if *list {
@@ -180,6 +217,40 @@ func main() {
 	eng.Workers = *workers
 	eng.JoinSpeedup = *speedup
 	eng.Observe = *trace != "" || *breakdown
+	if *metricsAddr != "" || *metricsDump != "" {
+		eng.Metrics = metrics.NewRegistry()
+	}
+	// serveTelemetry starts the HTTP endpoint (if asked for) once the
+	// progress aggregator exists; dumpMetrics writes the final JSON
+	// snapshot (if asked for) and must run before exiting on error too.
+	serveTelemetry := func(prog *exp.Progress) {
+		if *metricsAddr == "" {
+			return
+		}
+		mux := metrics.NewMux(eng.Metrics, map[string]http.Handler{"/progress": prog})
+		_, addr, err := metrics.StartServer(*metricsAddr, mux)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dsmrun: serving /metrics, /progress and /debug/pprof/ on http://%s\n", addr)
+	}
+	dumpMetrics := func() {
+		if *metricsDump == "" {
+			return
+		}
+		f, err := os.Create(*metricsDump)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(eng.Metrics.Snapshot()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *sweep != "" || flag.NArg() > 0 {
 		if *trace != "" {
@@ -195,12 +266,23 @@ func main() {
 		for i := range specs {
 			specs[i] = specs[i].Normalize()
 		}
-		if err := eng.Stream(os.Stdout, specs); err != nil {
+		var progOut io.Writer
+		if *progress {
+			progOut = os.Stderr
+		}
+		prog := exp.NewProgress(exp.UniqueRuns(specs, *speedup), progOut, eng)
+		eng.OnRunDone = prog.RunDone
+		serveTelemetry(prog)
+		err = eng.Stream(os.Stdout, specs)
+		dumpMetrics()
+		if err != nil {
 			fatal(err)
 		}
 		return
 	}
 
+	serveTelemetry(nil)
+	defer dumpMetrics()
 	res, err := eng.Run(base.Normalize())
 	if err != nil {
 		fatal(err)
@@ -275,6 +357,18 @@ func printJSON(s exp.Spec, res, seq core.Result, haveSeq bool) {
 		rec.JoinSeq(seq)
 	}
 	if err := json.NewEncoder(os.Stdout).Encode(rec); err != nil {
+		fatal(err)
+	}
+}
+
+// writeProfile dumps a named runtime profile (block, mutex) to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
 		fatal(err)
 	}
 }

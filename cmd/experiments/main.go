@@ -41,15 +41,23 @@
 // N > 0 bounds the backplane to N concurrent full-rate transfers,
 // N = -1 serializes the NICs over an ideal backplane, 0 (default) keeps
 // the infinite-capacity interconnect.
+//
+// -metrics-addr serves the shared engine's host-side telemetry
+// (/metrics in Prometheus text format, /debug/pprof/*) over HTTP while
+// the experiments run, and -metrics-dump writes a final JSON snapshot
+// of the registry; see cmd/dsmrun for the metric families. Telemetry
+// never changes experiment output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 )
 
@@ -61,6 +69,8 @@ func main() {
 	contention := flag.Int("contention", 0, "network contention: 0 off, -1 serial NICs only, N>0 serial NICs + N-way backplane")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: all host cores)")
 	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler,contention,migration,breakdown)")
+	metricsAddr := flag.String("metrics-addr", "", "serve host-side telemetry (/metrics, /debug/pprof/*) on this address while the experiments run")
+	metricsDump := flag.String("metrics-dump", "", "write a final JSON snapshot of the metrics registry to this file")
 	flag.Parse()
 
 	pname, err := proto.Parse(*protocol)
@@ -84,6 +94,36 @@ func main() {
 		os.Exit(2)
 	}
 	r.Costs = r.Costs.WithContention(*contention)
+	if *metricsAddr != "" || *metricsDump != "" {
+		r.Metrics = metrics.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		_, addr, err := metrics.StartServer(*metricsAddr, metrics.NewMux(r.Metrics, nil))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: serving /metrics and /debug/pprof/ on http://%s\n", addr)
+	}
+	if *metricsDump != "" {
+		defer func() {
+			f, err := os.Create(*metricsDump)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(r.Metrics.Snapshot()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
 	run := func(name string, f func(w *os.File, r *harness.Runner) error) {
 		if err := f(os.Stdout, r); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
@@ -108,7 +148,9 @@ func main() {
 		"migration":  func(w *os.File, r *harness.Runner) error { return harness.Migration(w, r) },
 		"breakdown": func(w *os.File, r *harness.Runner) error {
 			// A separate observing runner: traces are per-run state the
-			// shared cache must not carry for the other experiments.
+			// shared cache must not carry for the other experiments. Its
+			// Metrics stays nil — the registry's func-backed families
+			// already belong to the main runner's engine.
 			or := harness.NewRunner(r.Procs, r.Scale)
 			or.Protocol, or.HomePolicy = r.Protocol, r.HomePolicy
 			or.Costs, or.App, or.Workers = r.Costs, r.App, r.Workers

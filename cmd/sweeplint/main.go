@@ -27,6 +27,18 @@
 // a traceEvents array whose entries carry a name and phase, pid/tid/ts
 // on every non-metadata event and a non-negative dur on complete
 // events. CI's trace smoke step pipes a 4-node run's trace through it.
+//
+// Metrics mode:
+//
+//	curl -s http://localhost:9090/metrics | sweeplint -metrics
+//
+// -metrics validates a Prometheus text-format (0.0.4) document instead
+// (the output of `dsmrun -metrics-addr`'s /metrics endpoint): every
+// sample must belong to a family declared by a preceding # TYPE line,
+// series must be unique, counters non-negative, and histograms must
+// carry ascending cumulative buckets ending at le="+Inf" with a
+// matching _sum and _count. CI's sweep smoke job scrapes a live sweep
+// and pipes the scrape through it. -n checks the sample count.
 package main
 
 import (
@@ -37,6 +49,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 )
 
@@ -44,7 +57,22 @@ func main() {
 	expected := flag.Int("n", -1, "expected record count (-1: any)")
 	speedup := flag.Bool("speedup", false, "require the seq-baseline join fields on every non-seq record")
 	trace := flag.Bool("trace", false, "validate a Chrome trace_event JSON document instead of sweep records")
+	metricsText := flag.Bool("metrics", false, "validate a Prometheus text-format scrape instead of sweep records")
 	flag.Parse()
+
+	if *metricsText {
+		samples, err := metrics.ValidateText(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweeplint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sweeplint: valid metrics scrape, %d samples\n", samples)
+		if *expected >= 0 && samples != *expected {
+			fmt.Fprintf(os.Stderr, "sweeplint: got %d samples, want %d\n", samples, *expected)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *trace {
 		events, err := obs.ValidateChrome(os.Stdin)

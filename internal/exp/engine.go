@@ -9,8 +9,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
 )
@@ -46,16 +48,35 @@ type Engine struct {
 	// registry (AppByName).
 	Lookup func(name string) (core.App, error)
 
+	// Metrics, when non-nil, exposes the engine's host-side telemetry
+	// on that registry: func-backed counters/gauges over the always-on
+	// HostStats atomics plus per-(app, version) host-time and
+	// alloc-volume histograms (see telemetry.go). One registry serves
+	// one engine — a second engine registering on the same registry
+	// panics on the duplicate func families. Telemetry is strictly
+	// host-side: virtual times, traffic and sweep output bytes are
+	// identical with or without it.
+	Metrics *metrics.Registry
+	// OnRunDone, when non-nil, is called once per executed run (cache
+	// misses only, after the result is final) with the spec, the host
+	// wall time, and the run error. Called from worker goroutines; the
+	// callback must be concurrency-safe. Progress.RunDone fits here.
+	OnRunDone func(s Spec, hostNS int64, err error)
+
 	mu    sync.Mutex
 	cache map[string]*entry
+
+	host          hostStats
+	telemetryOnce sync.Once
 }
 
-// entry is one cached (possibly in-flight) run. done closes when res
-// and err are final.
+// entry is one cached (possibly in-flight) run. done closes when res,
+// err and hostNS are final.
 type entry struct {
-	done chan struct{}
-	res  core.Result
-	err  error
+	done   chan struct{}
+	res    core.Result
+	err    error
+	hostNS int64
 }
 
 // New builds an engine with the calibrated SP/2 model.
@@ -84,6 +105,7 @@ func (e *Engine) Config(a core.App, s Spec) core.Config {
 // requests: the first caller for a key runs the simulation, everyone
 // else waits for (or immediately receives) its result.
 func (e *Engine) Run(s Spec) (core.Result, error) {
+	e.telemetryInit()
 	key := s.Key()
 	e.mu.Lock()
 	if e.cache == nil {
@@ -94,13 +116,52 @@ func (e *Engine) Run(s Spec) (core.Result, error) {
 		en = &entry{done: make(chan struct{})}
 		e.cache[key] = en
 		e.mu.Unlock()
+		e.host.runsStarted.Add(1)
+		e.host.inflight.Add(1)
+		alloc0 := heapAllocBytes()
+		start := time.Now()
 		en.res, en.err = e.execute(s)
+		en.hostNS = time.Since(start).Nanoseconds()
+		allocDelta := heapAllocBytes() - alloc0
+		e.host.inflight.Add(-1)
+		e.host.runsCompleted.Add(1)
+		e.observeRun(s, en.hostNS, allocDelta)
 		close(en.done)
+		if f := e.OnRunDone; f != nil {
+			f(s, en.hostNS, en.err)
+		}
 		return en.res, en.err
 	}
 	e.mu.Unlock()
-	<-en.done
+	// Classify the duplicate: a closed done channel is a plain cache
+	// hit; an open one means we latched onto an in-flight run.
+	select {
+	case <-en.done:
+		e.host.cacheHits.Add(1)
+	default:
+		e.host.cacheWaits.Add(1)
+		<-en.done
+	}
 	return en.res, en.err
+}
+
+// HostRunNanos returns the host wall time of the spec's execution, or
+// 0 if the spec has not finished running on this engine. Informational
+// only — host time is machine- and load-dependent, never a gated
+// result field.
+func (e *Engine) HostRunNanos(s Spec) int64 {
+	e.mu.Lock()
+	en := e.cache[s.Key()]
+	e.mu.Unlock()
+	if en == nil {
+		return 0
+	}
+	select {
+	case <-en.done:
+		return en.hostNS
+	default:
+		return 0
+	}
 }
 
 // execute performs the simulation for one spec (no caching).
@@ -171,7 +232,9 @@ func (e *Engine) prefetch(specs []Spec, cancel *atomic.Bool) {
 			if canceled() {
 				return
 			}
+			busy := time.Now()
 			e.Run(s) //nolint:errcheck // errors surface on the ordered pass
+			e.host.workerBusyNS.Add(time.Since(busy).Nanoseconds())
 		}
 		return
 	}
@@ -181,12 +244,17 @@ func (e *Engine) prefetch(specs []Spec, cancel *atomic.Bool) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			idle := time.Now()
 			for s := range jobs {
-				if canceled() {
-					continue // drain without running
+				e.host.workerIdleNS.Add(time.Since(idle).Nanoseconds())
+				busy := time.Now()
+				if !canceled() { // else drain without running
+					e.Run(s) //nolint:errcheck // errors surface on the ordered pass
 				}
-				e.Run(s) //nolint:errcheck // errors surface on the ordered pass
+				e.host.workerBusyNS.Add(time.Since(busy).Nanoseconds())
+				idle = time.Now()
 			}
+			e.host.workerIdleNS.Add(time.Since(idle).Nanoseconds())
 		}()
 	}
 	for _, s := range unique {

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Progress aggregates Engine.OnRunDone callbacks into a live sweep
+// progress view: a throttled one-line stderr report and a JSON
+// snapshot (served at /progress by dsmrun -metrics-addr). Purely
+// host-side — it never touches the sweep's JSON-lines output.
+type Progress struct {
+	// Total is the number of unique runs expected (see UniqueRuns).
+	Total int
+	// Out, when non-nil, receives a progress line at most every
+	// Interval (and one final line when the count reaches Total).
+	Out io.Writer
+	// Interval throttles Out; zero means one second.
+	Interval time.Duration
+	// Engine, when non-nil, lets progress lines and snapshots report
+	// cache hits and in-flight runs alongside the completion count.
+	Engine *Engine
+
+	mu       sync.Mutex
+	start    time.Time
+	done     int
+	errs     int
+	hostNS   int64
+	lastLine time.Time
+}
+
+// NewProgress builds a Progress for total unique runs reporting to out
+// (nil for snapshot-only use). Hook it up with
+// eng.OnRunDone = p.RunDone.
+func NewProgress(total int, out io.Writer, eng *Engine) *Progress {
+	return &Progress{Total: total, Out: out, Engine: eng}
+}
+
+// UniqueRuns returns the number of distinct engine executions a sweep
+// over specs will perform: unique keys, plus each non-seq spec's
+// sequential baseline when joinSpeedup is set. This is the Total a
+// Progress should be built with.
+func UniqueRuns(specs []Spec, joinSpeedup bool) int {
+	seen := map[string]bool{}
+	n := 0
+	add := func(s Spec) {
+		if k := s.Key(); !seen[k] {
+			seen[k] = true
+			n++
+		}
+	}
+	for _, s := range specs {
+		add(s)
+		if joinSpeedup && s.Version != core.Seq {
+			add(SeqSpecOf(s))
+		}
+	}
+	return n
+}
+
+// RunDone records one completed run. It matches the Engine.OnRunDone
+// signature and is safe for concurrent use; on a nil Progress it is a
+// no-op.
+func (p *Progress) RunDone(s Spec, hostNS int64, err error) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	now := time.Now()
+	if p.start.IsZero() {
+		p.start = now
+	}
+	p.done++
+	p.hostNS += hostNS
+	if err != nil {
+		p.errs++
+	}
+	line := ""
+	interval := p.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if p.Out != nil && (p.done == p.Total || now.Sub(p.lastLine) >= interval) {
+		p.lastLine = now
+		line = p.lineLocked(now)
+	}
+	p.mu.Unlock()
+	if line != "" {
+		fmt.Fprintln(p.Out, line)
+	}
+}
+
+// lineLocked renders the stderr progress line. Caller holds p.mu.
+func (p *Progress) lineLocked(now time.Time) string {
+	elapsed := now.Sub(p.start)
+	line := fmt.Sprintf("sweep: %d/%d runs", p.done, p.Total)
+	if p.errs > 0 {
+		line += fmt.Sprintf(", %d failed", p.errs)
+	}
+	if e := p.Engine; e != nil {
+		hs := e.HostStats()
+		line += fmt.Sprintf(", %d cache hits", hs.CacheHits)
+	}
+	line += fmt.Sprintf(", elapsed %s", elapsed.Round(100*time.Millisecond))
+	if p.done > 0 && p.done < p.Total {
+		eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.Total-p.done))
+		line += fmt.Sprintf(", eta %s", eta.Round(100*time.Millisecond))
+	}
+	return line
+}
+
+// ProgressSnapshot is the JSON shape served at /progress.
+type ProgressSnapshot struct {
+	Done           int     `json:"done"`
+	Total          int     `json:"total"`
+	Errors         int     `json:"errors"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// RunHostSeconds is the summed host wall time of the completed
+	// runs (exceeds ElapsedSeconds when workers overlap).
+	RunHostSeconds float64 `json:"run_host_seconds"`
+	EtaSeconds     float64 `json:"eta_seconds,omitempty"`
+	CacheHits      int64   `json:"cache_hits,omitempty"`
+	Inflight       int64   `json:"inflight,omitempty"`
+}
+
+// Snapshot returns the current progress state.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	p.mu.Lock()
+	snap := ProgressSnapshot{
+		Done:           p.done,
+		Total:          p.Total,
+		Errors:         p.errs,
+		RunHostSeconds: float64(p.hostNS) / 1e9,
+	}
+	if !p.start.IsZero() {
+		snap.ElapsedSeconds = time.Since(p.start).Seconds()
+	}
+	if snap.Done > 0 && snap.Done < snap.Total {
+		snap.EtaSeconds = snap.ElapsedSeconds / float64(snap.Done) * float64(snap.Total-snap.Done)
+	}
+	p.mu.Unlock()
+	if e := p.Engine; e != nil {
+		hs := e.HostStats()
+		snap.CacheHits = hs.CacheHits
+		snap.Inflight = hs.Inflight
+	}
+	return snap
+}
+
+// ServeHTTP serves the snapshot as JSON.
+func (p *Progress) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p.Snapshot()) //nolint:errcheck // client went away
+}

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	rtmetrics "runtime/metrics"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// HostStats are the engine's host-side execution counters: how much
+// real work the sweep machinery did, as opposed to the virtual-time
+// results it produced. They are always collected (cheap atomics) and
+// never influence run results — a sweep's JSON-lines output is
+// byte-identical whether or not anybody reads them.
+type HostStats struct {
+	// RunsStarted / RunsCompleted count cache misses: specs this
+	// engine actually executed (started may briefly exceed completed).
+	RunsStarted   int64
+	RunsCompleted int64
+	// CacheHits counts Run calls answered by a finished cache entry;
+	// CacheWaits counts calls that latched onto an in-flight run.
+	CacheHits  int64
+	CacheWaits int64
+	// Inflight is the number of simulations executing right now.
+	Inflight int64
+	// WorkerBusyNS / WorkerIdleNS split the sweep pool's wall time
+	// between running simulations and waiting for work.
+	WorkerBusyNS int64
+	WorkerIdleNS int64
+}
+
+// hostStats is the atomic backing store for HostStats.
+type hostStats struct {
+	runsStarted   atomic.Int64
+	runsCompleted atomic.Int64
+	cacheHits     atomic.Int64
+	cacheWaits    atomic.Int64
+	inflight      atomic.Int64
+	workerBusyNS  atomic.Int64
+	workerIdleNS  atomic.Int64
+}
+
+// HostStats returns a snapshot of the engine's host-side counters.
+func (e *Engine) HostStats() HostStats {
+	return HostStats{
+		RunsStarted:   e.host.runsStarted.Load(),
+		RunsCompleted: e.host.runsCompleted.Load(),
+		CacheHits:     e.host.cacheHits.Load(),
+		CacheWaits:    e.host.cacheWaits.Load(),
+		Inflight:      e.host.inflight.Load(),
+		WorkerBusyNS:  e.host.workerBusyNS.Load(),
+		WorkerIdleNS:  e.host.workerIdleNS.Load(),
+	}
+}
+
+// Metric names and help strings. The engine's registry families are
+// func-backed views over the always-on atomics above (no double
+// bookkeeping); only the two histograms are registry-native.
+const (
+	mRunSeconds    = "dsm_engine_run_host_seconds"
+	helpRunSeconds = "Host wall time of one simulated run, by app and version."
+	mAllocBytes    = "dsm_engine_run_alloc_bytes"
+	helpAllocBytes = "Heap bytes allocated process-wide during one run (approximate under concurrency), by app and version."
+	mRunsStarted   = "dsm_engine_runs_started_total"
+	mRunsCompleted = "dsm_engine_runs_completed_total"
+	mCacheHits     = "dsm_engine_cache_hits_total"
+	mCacheWaits    = "dsm_engine_cache_wait_total"
+	mInflight      = "dsm_engine_runs_inflight"
+	mWorkers       = "dsm_engine_workers"
+	mWorkerBusy    = "dsm_engine_worker_busy_seconds_total"
+	mWorkerIdle    = "dsm_engine_worker_idle_seconds_total"
+	mSimDispatches = "dsm_sim_dispatches_total"
+	mSimDelivered  = "dsm_sim_messages_delivered_total"
+	mSimPeakQueue  = "dsm_sim_peak_event_queue"
+)
+
+// Histogram bounds: run host time from 100µs to ~13s, alloc volume
+// from 64KiB to ~16GiB. Shared by every (app, version) series of the
+// family, so cross-series sums stay meaningful.
+var (
+	runSecondsBuckets = metrics.ExpBuckets(0.0001, 2, 18)
+	allocBuckets      = metrics.ExpBuckets(65536, 4, 10)
+)
+
+// telemetryInit registers the engine's metric families on e.Metrics,
+// once. Func-backed families close over this engine's atomics, so one
+// registry serves exactly one engine (a second registration of the
+// same func family panics by design). The sim totals are process-wide.
+func (e *Engine) telemetryInit() {
+	r := e.Metrics
+	if r == nil {
+		return
+	}
+	e.telemetryOnce.Do(func() {
+		iv := func(a *atomic.Int64) func() float64 {
+			return func() float64 { return float64(a.Load()) }
+		}
+		secs := func(a *atomic.Int64) func() float64 {
+			return func() float64 { return float64(a.Load()) / 1e9 }
+		}
+		r.CounterFunc(mRunsStarted, "Simulated runs started (cache misses).", iv(&e.host.runsStarted))
+		r.CounterFunc(mRunsCompleted, "Simulated runs completed.", iv(&e.host.runsCompleted))
+		r.CounterFunc(mCacheHits, "Run requests answered from the finished-result cache.", iv(&e.host.cacheHits))
+		r.CounterFunc(mCacheWaits, "Run requests that waited on an in-flight duplicate.", iv(&e.host.cacheWaits))
+		r.GaugeFunc(mInflight, "Simulated runs executing right now.", iv(&e.host.inflight))
+		r.GaugeFunc(mWorkers, "Resolved sweep worker-pool width.",
+			func() float64 { return float64(e.workers()) })
+		r.CounterFunc(mWorkerBusy, "Sweep-pool worker time spent running simulations.", secs(&e.host.workerBusyNS))
+		r.CounterFunc(mWorkerIdle, "Sweep-pool worker time spent waiting for work.", secs(&e.host.workerIdleNS))
+		r.CounterFunc(mSimDispatches, "Simulator scheduler dispatches, process-wide.",
+			func() float64 { return float64(sim.HostTotals().Dispatches) })
+		r.CounterFunc(mSimDelivered, "Simulated messages delivered, process-wide.",
+			func() float64 { return float64(sim.HostTotals().Delivered) })
+		r.GaugeFunc(mSimPeakQueue, "Peak simulated-message queue depth over any run, process-wide.",
+			func() float64 { return float64(sim.HostTotals().PeakQueue) })
+		// Declare the histogram families eagerly so a scrape before the
+		// first run already shows them (with no series yet).
+		r.DeclareHistogram(mRunSeconds, helpRunSeconds, runSecondsBuckets)
+		r.DeclareHistogram(mAllocBytes, helpAllocBytes, allocBuckets)
+	})
+}
+
+// observeRun records one executed run into the registry histograms.
+func (e *Engine) observeRun(s Spec, hostNS int64, allocBytes uint64) {
+	r := e.Metrics
+	if r == nil {
+		return
+	}
+	ls := []metrics.Label{metrics.L("app", s.App), metrics.L("version", string(s.Version))}
+	r.Histogram(mRunSeconds, helpRunSeconds, runSecondsBuckets, ls...).Observe(float64(hostNS) / 1e9)
+	r.Histogram(mAllocBytes, helpAllocBytes, allocBuckets, ls...).Observe(float64(allocBytes))
+}
+
+// heapAllocBytes reads the runtime's cumulative heap-allocation
+// counter. Process-wide: concurrent runs inflate each other's deltas,
+// which is acceptable for an informational histogram.
+func heapAllocBytes() uint64 {
+	s := []rtmetrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	rtmetrics.Read(s)
+	if s[0].Value.Kind() == rtmetrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/proto"
 )
@@ -53,6 +54,11 @@ type Runner struct {
 	// Observe enables per-run observability (see exp.Engine.Observe):
 	// every result carries its event trace and per-node time breakdown.
 	Observe bool
+	// Metrics, when non-nil, exposes the engine's host-side telemetry
+	// on that registry (see exp.Engine.Metrics). One registry serves
+	// one engine: side-runners sharing a process must keep their own
+	// Metrics nil.
+	Metrics *metrics.Registry
 
 	eng *exp.Engine
 }
@@ -76,6 +82,7 @@ func (r *Runner) Engine() *exp.Engine {
 		r.eng = exp.NewEngine(r.Costs, r.App)
 		r.eng.Workers = r.Workers
 		r.eng.Observe = r.Observe
+		r.eng.Metrics = r.Metrics
 	}
 	return r.eng
 }

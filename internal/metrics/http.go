@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry in the text exposition format. A nil
+// registry serves an empty document (still a valid scrape).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteText(w) //nolint:errcheck // client went away; nothing to do
+	})
+}
+
+// NewMux builds the telemetry endpoint surface: /metrics (Prometheus
+// text) and /debug/pprof/* (the runtime profiles, mounted explicitly so
+// the process never depends on http.DefaultServeMux). Extra handlers
+// (e.g. a /progress JSON snapshot) are mounted at their given paths.
+func NewMux(r *Registry, extra map[string]http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for path, h := range extra {
+		mux.Handle(path, h)
+	}
+	return mux
+}
+
+// StartServer binds addr and serves h in a background goroutine,
+// returning the server and the concrete bound address (useful with
+// ":0"). The caller owns shutdown; CLI processes simply exit.
+func StartServer(addr string, h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln) //nolint:errcheck // ends when the process exits
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,479 @@
+// Package metrics is the host-side telemetry registry: zero-dependency
+// counters, gauges and fixed-bucket histograms behind a Registry with
+// deterministic sorted snapshots and a Prometheus text-format
+// (exposition 0.0.4) encoder.
+//
+// Host-side means wall-clock seconds, allocated bytes, cache hits —
+// properties of the machine *running* the sweeps. Virtual time, traffic
+// and checksums belong to the simulated machine and live in
+// internal/stats and internal/obs; nothing in this package may feed
+// back into a simulation, and the sweep engines keep their JSON-lines
+// output byte-identical whether a registry is attached or not.
+//
+// Handles follow the internal/obs nil-disabled convention: every method
+// on a nil *Registry, *Counter, *Gauge or *Histogram is a no-op, so
+// instrumented code threads one optional pointer instead of branching.
+//
+// Snapshots are deterministic: families sort by name, series by their
+// canonical label string, and the text encoder renders from a snapshot,
+// so equal registry contents produce equal bytes regardless of
+// registration order or scrape timing.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric type names as the exposition format spells them.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Label is one metric dimension. Series of one family differ only in
+// label values (e.g. the per-application host-time histograms).
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry holds metric families. The zero value is not usable; build
+// one with NewRegistry. A nil *Registry disables every operation.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric family: a type, help text, optional
+// histogram buckets, and the series (one per label set).
+type family struct {
+	name    string
+	help    string
+	typ     string
+	uppers  []float64 // histogram upper bounds, strictly increasing, no +Inf
+	series  map[string]*series
+	ordered []*series // insertion order; snapshot re-sorts
+}
+
+// series is one (family, label set) time series. Counters and gauges
+// use bits (float64 bits) or fn (callback-backed); histograms use
+// counts (per-bucket, last = +Inf overflow), sumBits and the family's
+// shared bucket bounds.
+type series struct {
+	labels  []Label // sorted by key
+	bits    atomic.Uint64
+	fn      func() float64
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	uppers  []float64 // histogram bucket upper bounds (family-shared)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter returns the counter for (name, labels), creating it at zero
+// on first use. Counters only go up.
+type Counter struct{ s *series }
+
+// Gauge returns-by-handle a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct{ s *series }
+
+// Counter registers (or finds) a counter series. A nil registry
+// returns a nil handle (whose methods no-op).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{s: r.getOrCreate(name, help, TypeCounter, nil, nil, labels)}
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{s: r.getOrCreate(name, help, TypeGauge, nil, nil, labels)}
+}
+
+// Histogram registers (or finds) a histogram series with the family's
+// fixed buckets (upper bounds, strictly increasing; the +Inf overflow
+// bucket is implicit). Every series of one family shares one bucket
+// layout: a mismatch panics.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return &Histogram{s: r.getOrCreate(name, help, TypeHistogram, checkBuckets(name, buckets), nil, labels)}
+}
+
+// CounterFunc registers a callback-backed counter (read at snapshot
+// time). Registering the same (name, labels) twice panics: a callback
+// cannot be merged.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		panic("metrics: nil CounterFunc for " + name)
+	}
+	r.getOrCreate(name, help, TypeCounter, nil, fn, labels)
+}
+
+// GaugeFunc registers a callback-backed gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		panic("metrics: nil GaugeFunc for " + name)
+	}
+	r.getOrCreate(name, help, TypeGauge, nil, fn, labels)
+}
+
+// DeclareHistogram registers a histogram family with no series yet, so
+// scrapes show its HELP/TYPE header before the first observation
+// (series appear lazily as labeled Histogram calls arrive).
+func (r *Registry) DeclareHistogram(name, help string, buckets []float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ensureFamily(name, help, TypeHistogram, checkBuckets(name, buckets))
+}
+
+// ensureFamily finds or creates a family, panicking on an identity
+// mismatch (same name, different type/help/buckets): metric names are
+// a process-wide vocabulary and a collision is a programming error.
+func (r *Registry) ensureFamily(name, help, typ string, uppers []float64) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, uppers: uppers, series: map[string]*series{}}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	if f.help != help {
+		panic(fmt.Sprintf("metrics: %s re-registered with different help", name))
+	}
+	if typ == TypeHistogram && !equalFloats(f.uppers, uppers) {
+		panic(fmt.Sprintf("metrics: %s re-registered with different buckets", name))
+	}
+	return f
+}
+
+// getOrCreate resolves the series for (name, labels).
+func (r *Registry) getOrCreate(name, help, typ string, uppers []float64, fn func() float64, labels []Label) *series {
+	ls := canonLabels(name, labels)
+	key := labelKey(ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.ensureFamily(name, help, typ, uppers)
+	if s, ok := f.series[key]; ok {
+		if fn != nil || s.fn != nil {
+			panic(fmt.Sprintf("metrics: %s%s already registered (func-backed series cannot be shared)", name, renderLabels(ls)))
+		}
+		return s
+	}
+	s := &series{labels: ls, fn: fn}
+	if typ == TypeHistogram {
+		s.counts = make([]atomic.Uint64, len(f.uppers)+1)
+		s.uppers = f.uppers
+	}
+	f.series[key] = s
+	f.ordered = append(f.ordered, s)
+	return s
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter. Negative or NaN deltas panic: counters
+// only go up.
+func (c *Counter) Add(v float64) {
+	if c == nil || c.s == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		panic("metrics: counter decreased")
+	}
+	addFloat(&c.s.bits, v)
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() float64 {
+	if c == nil || c.s == nil {
+		return 0
+	}
+	return math.Float64frombits(c.s.bits.Load())
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by v (negative deltas allowed).
+func (g *Gauge) Add(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	addFloat(&g.s.bits, v)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// SetMax raises the gauge to v if v is larger (a monotone
+// high-water-mark update, e.g. peak queue depth).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	for {
+		old := g.s.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.s.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil || g.s == nil {
+		return 0
+	}
+	return math.Float64frombits(g.s.bits.Load())
+}
+
+// Observe records one sample. The bucket layout is fixed at
+// registration; out-of-range samples land in the +Inf overflow bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.s == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.s.uppers, v) // smallest i with uppers[i] >= v: the le bucket
+	h.s.counts[i].Add(1)
+	addFloat(&h.s.sumBits, v)
+}
+
+// Count returns the total number of observations (summed over buckets,
+// so a concurrent scrape always sees count == the +Inf bucket).
+func (h *Histogram) Count() uint64 {
+	if h == nil || h.s == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.s.counts {
+		n += h.s.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil || h.s == nil {
+		return 0
+	}
+	return math.Float64frombits(h.s.sumBits.Load())
+}
+
+// addFloat atomically adds v to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// checkBuckets validates histogram upper bounds: non-empty, finite,
+// strictly increasing. A trailing +Inf is stripped (it is implicit).
+func checkBuckets(name string, buckets []float64) []float64 {
+	if n := len(buckets); n > 0 && math.IsInf(buckets[n-1], 1) {
+		buckets = buckets[:n-1]
+	}
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %s has no buckets", name))
+	}
+	out := make([]float64, len(buckets))
+	copy(out, buckets)
+	for i, b := range out {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("metrics: histogram %s has non-finite bucket %g", name, b))
+		}
+		if i > 0 && out[i-1] >= b {
+			panic(fmt.Sprintf("metrics: histogram %s buckets not strictly increasing", name))
+		}
+	}
+	return out
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start, each factor times the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n evenly spaced upper bounds starting at start.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("metrics: LinearBuckets wants width > 0, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// canonLabels validates and sorts a label set.
+func canonLabels(name string, labels []Label) []Label {
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	for i, l := range ls {
+		if !validLabelName(l.Key) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l.Key, name))
+		}
+		if i > 0 && ls[i-1].Key == l.Key {
+			panic(fmt.Sprintf("metrics: duplicate label %q on %s", l.Key, name))
+		}
+	}
+	return ls
+}
+
+// labelKey renders the canonical series key.
+func labelKey(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	return b.String()
+}
+
+// renderLabels formats a label set for the exposition format:
+// {k1="v1",k2="v2"} with \, " and newline escaped, empty for none.
+func renderLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]* and
+// is not a reserved name.
+func validLabelName(s string) bool {
+	if s == "" || s == "le" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is a deterministic point-in-time view of a registry:
+// families sorted by name, series sorted by canonical label string.
+// It is the single source both the text encoder and the JSON
+// -metrics-dump render from, so the two stay consistent.
+type Snapshot struct {
+	Families []Family `json:"families"`
+}
+
+// Family is one metric family in a snapshot.
+type Family struct {
+	Name   string   `json:"name"`
+	Help   string   `json:"help,omitempty"`
+	Type   string   `json:"type"`
+	Series []Series `json:"series,omitempty"`
+}
+
+// Series is one (label set, value) sample. Counters and gauges carry
+// Value; histograms carry Hist instead.
+type Series struct {
+	Labels []Label       `json:"labels,omitempty"`
+	Value  float64       `json:"value"`
+	Hist   *HistSnapshot `json:"histogram,omitempty"`
+}
+
+// HistSnapshot is a histogram series: cumulative buckets in ascending
+// le order ending at +Inf, the observation sum, and the total count
+// (always equal to the +Inf bucket — the snapshot derives it from the
+// buckets, so a concurrent scrape can never show a mismatch).
+type HistSnapshot struct {
+	Sum     float64  `json:"sum"`
+	Count   uint64   `json:"count"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Bucket is one cumulative histogram bucket. LE is the rendered upper
+// bound ("0.001", "+Inf"), exactly as the text format prints it, so
+// the JSON dump round-trips into exposition series names.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot captures the registry. Safe to call concurrently with
+// metric updates; each series is read atomically (histogram counts may
+// lag each other by in-flight observations, but cumulative buckets and
+// count stay internally consistent).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	// Snapshot the series lists under the registry lock; values are
+	// read atomically afterwards.
+	ordered := make(map[*family][]*series, len(fams))
+	for _, f := range fams {
+		ordered[f] = append([]*series(nil), f.ordered...)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	snap := Snapshot{Families: make([]Family, 0, len(fams))}
+	for _, f := range fams {
+		fs := Family{Name: f.name, Help: f.help, Type: f.typ}
+		ser := ordered[f]
+		sort.Slice(ser, func(i, j int) bool {
+			return labelKey(ser[i].labels) < labelKey(ser[j].labels)
+		})
+		for _, s := range ser {
+			fs.Series = append(fs.Series, snapshotSeries(f, s))
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+func snapshotSeries(f *family, s *series) Series {
+	out := Series{Labels: s.labels}
+	if len(out.Labels) == 0 {
+		out.Labels = nil
+	}
+	switch f.typ {
+	case TypeHistogram:
+		h := &HistSnapshot{Sum: math.Float64frombits(s.sumBits.Load())}
+		var cum uint64
+		for i := range s.counts {
+			cum += s.counts[i].Load()
+			le := "+Inf"
+			if i < len(f.uppers) {
+				le = formatFloat(f.uppers[i])
+			}
+			h.Buckets = append(h.Buckets, Bucket{LE: le, Count: cum})
+		}
+		h.Count = cum
+		out.Hist = h
+	default:
+		if s.fn != nil {
+			out.Value = s.fn()
+		} else {
+			out.Value = math.Float64frombits(s.bits.Load())
+		}
+	}
+	return out
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format, version 0.0.4: # HELP and # TYPE headers followed by one
+// sample line per series (histograms expand to _bucket/_sum/_count).
+// Output bytes are a pure function of the snapshot.
+func (r *Registry) WriteText(w io.Writer) error {
+	return r.Snapshot().WriteText(w)
+}
+
+// WriteText renders a snapshot in the exposition format.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, f := range s.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, ser := range f.Series {
+			if err := writeSeries(w, f, ser); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f Family, ser Series) error {
+	if f.Type != TypeHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, renderLabels(ser.Labels), formatFloat(ser.Value))
+		return err
+	}
+	for _, b := range ser.Hist.Buckets {
+		ls := append(append([]Label(nil), ser.Labels...), Label{Key: "le", Value: b.LE})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, renderLabelsRaw(ls), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, renderLabels(ser.Labels), formatFloat(ser.Hist.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, renderLabels(ser.Labels), ser.Hist.Count)
+	return err
+}
+
+// renderLabelsRaw renders a label set that may include the reserved
+// "le" label (bucket lines only).
+func renderLabelsRaw(ls []Label) string { return renderLabels(ls) }
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest representation that round-trips, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

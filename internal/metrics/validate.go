@@ -1,0 +1,341 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateText structurally checks a Prometheus text-format (0.0.4)
+// document — the check `sweeplint -metrics` applies to a live /metrics
+// scrape. It returns the number of sample lines on success.
+//
+// Checked: every sample belongs to a family declared by a preceding
+// # TYPE line with a known type; names and label syntax are well
+// formed; values parse; no series appears twice; counter samples are
+// non-negative; and every histogram series carries ascending cumulative
+// _bucket counts ending at le="+Inf", a _sum, and a _count equal to its
+// +Inf bucket.
+func ValidateText(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	v := &textValidator{
+		types:  map[string]string{},
+		seen:   map[string]bool{},
+		hists:  map[string]*histCheck{},
+		sealed: map[string]bool{},
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if err := v.line(line); err != nil {
+			return 0, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if err := v.finish(); err != nil {
+		return 0, err
+	}
+	return v.samples, nil
+}
+
+// histCheck accumulates one histogram series (family + labels sans le).
+type histCheck struct {
+	name    string
+	buckets []histBucket
+	sum     bool
+	count   bool
+	countV  uint64
+}
+
+type histBucket struct {
+	le    float64
+	count uint64
+}
+
+type textValidator struct {
+	types   map[string]string // family -> declared type
+	seen    map[string]bool   // exact series (name + labels) seen
+	hists   map[string]*histCheck
+	sealed  map[string]bool // family -> samples started (TYPE must precede)
+	samples int
+}
+
+func (v *textValidator) line(line string) error {
+	if strings.HasPrefix(line, "#") {
+		return v.comment(line)
+	}
+	return v.sample(line)
+}
+
+func (v *textValidator) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		switch typ {
+		case TypeCounter, TypeGauge, TypeHistogram:
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := v.types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if v.sealed[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		v.types[name] = typ
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family, peeling the
+// histogram suffixes.
+func (v *textValidator) familyOf(name string) (family, suffix string, typ string, err error) {
+	if t, ok := v.types[name]; ok {
+		if t == TypeHistogram {
+			return "", "", "", fmt.Errorf("histogram %s sampled without _bucket/_sum/_count suffix", name)
+		}
+		return name, "", t, nil
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := v.types[base]; ok {
+				if t != TypeHistogram {
+					return "", "", "", fmt.Errorf("%s sample for non-histogram family %s", name, base)
+				}
+				return base, suf, t, nil
+			}
+		}
+	}
+	return "", "", "", fmt.Errorf("sample %s has no preceding # TYPE", name)
+}
+
+func (v *textValidator) sample(line string) error {
+	name, labels, value, err := parseSample(line)
+	if err != nil {
+		return err
+	}
+	fam, suffix, typ, err := v.familyOf(name)
+	if err != nil {
+		return err
+	}
+	v.sealed[fam] = true
+	v.samples++
+
+	seriesKey := name + "{" + strings.Join(labels, ",") + "}"
+	if v.seen[seriesKey] {
+		return fmt.Errorf("duplicate series %s", seriesKey)
+	}
+	v.seen[seriesKey] = true
+
+	if typ == TypeCounter && (value < 0 || math.IsNaN(value)) {
+		return fmt.Errorf("counter %s has invalid value %g", name, value)
+	}
+	if typ != TypeHistogram {
+		return nil
+	}
+
+	// Histogram bookkeeping: group by family + labels without le.
+	var le string
+	rest := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if after, ok := strings.CutPrefix(l, `le="`); ok && suffix == "_bucket" {
+			le = strings.TrimSuffix(after, `"`)
+			continue
+		}
+		rest = append(rest, l)
+	}
+	hk := fam + "{" + strings.Join(rest, ",") + "}"
+	h := v.hists[hk]
+	if h == nil {
+		h = &histCheck{name: hk}
+		v.hists[hk] = h
+	}
+	switch suffix {
+	case "_bucket":
+		if le == "" {
+			return fmt.Errorf("bucket of %s has no le label", fam)
+		}
+		bound, err := parseLE(le)
+		if err != nil {
+			return fmt.Errorf("bucket of %s: %v", fam, err)
+		}
+		if value < 0 || value != math.Trunc(value) {
+			return fmt.Errorf("bucket count %g of %s is not a non-negative integer", value, fam)
+		}
+		h.buckets = append(h.buckets, histBucket{le: bound, count: uint64(value)})
+	case "_sum":
+		h.sum = true
+	case "_count":
+		if value < 0 || value != math.Trunc(value) {
+			return fmt.Errorf("count %g of %s is not a non-negative integer", value, fam)
+		}
+		h.count, h.countV = true, uint64(value)
+	}
+	return nil
+}
+
+// finish applies the whole-series histogram checks.
+func (v *textValidator) finish() error {
+	for _, h := range v.hists {
+		if len(h.buckets) == 0 {
+			return fmt.Errorf("histogram %s has no buckets", h.name)
+		}
+		last := h.buckets[len(h.buckets)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("histogram %s does not end at le=\"+Inf\"", h.name)
+		}
+		for i := 1; i < len(h.buckets); i++ {
+			if h.buckets[i-1].le >= h.buckets[i].le {
+				return fmt.Errorf("histogram %s bucket bounds not increasing", h.name)
+			}
+			if h.buckets[i-1].count > h.buckets[i].count {
+				return fmt.Errorf("histogram %s cumulative counts decrease", h.name)
+			}
+		}
+		if !h.sum {
+			return fmt.Errorf("histogram %s has no _sum", h.name)
+		}
+		if !h.count {
+			return fmt.Errorf("histogram %s has no _count", h.name)
+		}
+		if h.countV != last.count {
+			return fmt.Errorf("histogram %s _count %d != +Inf bucket %d", h.name, h.countV, last.count)
+		}
+	}
+	return nil
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q", s)
+	}
+	return f, nil
+}
+
+// parseSample splits a sample line into name, raw label tokens
+// (`key="value"` with escapes intact) and the value. A trailing
+// timestamp (allowed by the format, never emitted by this package) is
+// accepted and ignored.
+func parseSample(line string) (name string, labels []string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels consumes a {k="v",...} block, returning the raw
+// `k="v"` tokens and the remainder of the line.
+func parseLabels(s string) (labels []string, rest string, err error) {
+	s = s[1:] // consume '{'
+	for {
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label in %q", s)
+		}
+		key := s[:eq]
+		if key != "le" && !validLabelName(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		if len(s) <= eq+1 || s[eq+1] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value for %q", key)
+		}
+		// Scan the quoted value honoring escapes.
+		j := eq + 2
+		for j < len(s) {
+			if s[j] == '\\' {
+				if j+1 >= len(s) {
+					return nil, "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[j+1] {
+				case '\\', '"', 'n':
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %q", s[j+1], key)
+				}
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return nil, "", fmt.Errorf("unterminated label value for %q", key)
+		}
+		labels = append(labels, s[:j+1])
+		s = s[j+1:]
+		if s != "" && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}

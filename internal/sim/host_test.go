@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestHostStats checks the host-side counters: a ping-pong run counts
+// its deliveries and its peak queue depth, the per-cluster numbers fold
+// into the process totals, and the counters never touch virtual time.
+func TestHostStats(t *testing.T) {
+	run := func() (*Cluster, Time) {
+		c := New(Config{Procs: 2, Latency: 10 * Microsecond})
+		var end Time
+		err := c.Run(func(p *Proc) {
+			const rounds = 5
+			for i := 0; i < rounds; i++ {
+				if p.ID() == 0 {
+					p.Send(1, 1, nil, 8, stats.KindData)
+					p.Recv(1, 2)
+				} else {
+					p.Recv(0, 1)
+					p.Send(0, 2, nil, 8, stats.KindData)
+				}
+			}
+			if p.ID() == 0 {
+				end = p.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, end
+	}
+
+	before := HostTotals()
+	c1, end1 := run()
+	hs := c1.HostStats()
+	if hs.Delivered != 10 {
+		t.Errorf("Delivered = %d, want 10", hs.Delivered)
+	}
+	// Ping-pong keeps at most one message in flight.
+	if hs.PeakQueue != 1 {
+		t.Errorf("PeakQueue = %d, want 1", hs.PeakQueue)
+	}
+	if hs.Dispatches <= 0 {
+		t.Errorf("Dispatches = %d, want > 0", hs.Dispatches)
+	}
+	after := HostTotals()
+	if got := after.Delivered - before.Delivered; got != 10 {
+		t.Errorf("global Delivered grew by %d, want 10", got)
+	}
+	if got := after.Dispatches - before.Dispatches; got != hs.Dispatches {
+		t.Errorf("global Dispatches grew by %d, want %d", got, hs.Dispatches)
+	}
+	if after.PeakQueue < 1 {
+		t.Errorf("global PeakQueue = %d, want >= 1", after.PeakQueue)
+	}
+
+	// Counting must not perturb the schedule: a second identical run
+	// lands on the identical virtual end time.
+	_, end2 := run()
+	if end1 != end2 {
+		t.Errorf("virtual end times differ: %v vs %v", end1, end2)
+	}
+}

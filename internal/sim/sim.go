@@ -226,6 +226,13 @@ type Cluster struct {
 	// message accepted for each (src, dst) pair, indexed src*Procs+dst.
 	// Monotone per pair by construction.
 	pairLast []Time
+
+	// Host-side counters (see host.go). Plain ints: updates happen
+	// either in the scheduler loop or in the single running process,
+	// never concurrently. hostPending tracks the current total inbox
+	// depth feeding host.PeakQueue.
+	host        HostStats
+	hostPending int64
 }
 
 // New creates a cluster with the given configuration.
@@ -302,6 +309,7 @@ func (e *DeadlockError) Error() string {
 // deadlock. If a process body panics, Run re-panics with the same value
 // after shutting down cleanly, so tests see the original failure.
 func (c *Cluster) Run(body func(p *Proc)) error {
+	defer c.foldHost()
 	for _, p := range c.procs {
 		go func(p *Proc) {
 			defer func() {
@@ -328,6 +336,7 @@ func (c *Cluster) Run(body func(p *Proc)) error {
 			}
 			return &DeadlockError{States: states}
 		}
+		c.host.Dispatches++
 		p.resume <- c.horizonFor(p)
 		id := <-c.yield
 		if c.procs[id].state == stateDone {
@@ -474,6 +483,10 @@ func (p *Proc) Send(dst, tag int, payload any, payloadBytes int, kind stats.Kind
 		seq:      c.seq,
 	}
 	c.procs[dst].inbox = append(c.procs[dst].inbox, m)
+	c.hostPending++
+	if c.hostPending > c.host.PeakQueue {
+		c.host.PeakQueue = c.hostPending
+	}
 	c.stats.Record(kind, wire)
 	if queued > 0 {
 		c.stats.RecordQueue(c.NodeOf(p.id), int64(queued), binder, kind)
@@ -581,6 +594,8 @@ func (p *Proc) Recv(src, tag int) *Message {
 			// before the horizon is final.
 			if m.Deliver <= p.horizon {
 				p.inbox = append(p.inbox[:i], p.inbox[i+1:]...)
+				p.c.hostPending--
+				p.c.host.Delivered++
 				if m.Deliver > p.clock {
 					// The clock jump is the process's idle wait for this
 					// message: the fundamental stall the per-node time

@@ -75,6 +75,24 @@
 // is host-side observability: virtual times, traffic, checksums and
 // the sweep's JSON-lines bytes are identical with or without it.
 //
+// Differential testing:
+//
+//	dsmrun -gen 42        # one generated program, full differential lattice
+//	dsmrun -gen 1:40      # forty programs starting at seed 1
+//	dsmrun -genfile internal/loopc/testdata/failures/gen-30-min.json
+//
+// -gen seed[:count] generates deterministic loopc programs (see
+// internal/loopc/gen) and runs each through the full differential
+// lattice — the sequential interpreter plus spf-gen under both
+// protocols and every home policy and xhpf-gen, at 1-8 processors —
+// checking every run bitwise against the partition-aware oracle and for
+// repeat determinism. -genfile does the same for one program spec read
+// from a JSON file (for replaying a CI repro artifact). Divergent
+// programs are delta-minimized and written to ./gen-failures/ as a
+// corpus entry plus a report with a committable Go literal; the exit
+// status is non-zero. Generated programs also run standalone:
+// -app gen-<seed> works anywhere an application name does.
+//
 // Sweep mode:
 //
 //	dsmrun -sweep "procs=1,2,4,8 protocol=lrc,hlrc" [-workers N]
@@ -106,6 +124,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/loopc/difftest"
+	"repro/internal/loopc/gen"
 	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/stats"
@@ -133,6 +153,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/pprof/* and /progress on this address (e.g. :9090)")
 	progress := flag.Bool("progress", false, "print a throttled sweep progress line to stderr")
 	metricsDump := flag.String("metrics-dump", "", "write a final JSON snapshot of the metrics registry to this file")
+	genSpec := flag.String("gen", "", `differential-test generated programs: "seed" or "seed:count"`)
+	genFile := flag.String("genfile", "", "differential-test one program spec read from this JSON file")
 	list := flag.Bool("list", false, "list applications and versions")
 	flag.Parse()
 
@@ -171,6 +193,12 @@ func main() {
 		defer writeProfile("mutex", *mutexprofile)
 	}
 
+	if *genSpec != "" || *genFile != "" {
+		if err := runGenDiff(*genSpec, *genFile); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *list {
 		for _, a := range exp.Apps() {
 			fmt.Printf("%-9s versions:", a.Name())
@@ -359,6 +387,74 @@ func printJSON(s exp.Spec, res, seq core.Result, haveSeq bool) {
 	if err := json.NewEncoder(os.Stdout).Encode(rec); err != nil {
 		fatal(err)
 	}
+}
+
+// runGenDiff is the -gen/-genfile mode: run generated programs through
+// the full differential lattice, minimizing and saving any divergence.
+func runGenDiff(genSpec, genFile string) error {
+	var specs []*gen.ProgramSpec
+	switch {
+	case genSpec != "" && genFile != "":
+		return fmt.Errorf("dsmrun: -gen and -genfile are mutually exclusive")
+	case genFile != "":
+		data, err := os.ReadFile(genFile)
+		if err != nil {
+			return err
+		}
+		ps, err := gen.Parse(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", genFile, err)
+		}
+		specs = append(specs, ps)
+	default:
+		seedPart, countPart, hasCount := strings.Cut(genSpec, ":")
+		var seed, count int64 = 0, 1
+		if _, err := fmt.Sscanf(seedPart, "%d", &seed); err != nil || seed < 0 {
+			return fmt.Errorf("dsmrun: invalid -gen %q (want seed or seed:count)", genSpec)
+		}
+		if hasCount {
+			if _, err := fmt.Sscanf(countPart, "%d", &count); err != nil || count < 1 {
+				return fmt.Errorf("dsmrun: invalid -gen %q (want seed or seed:count)", genSpec)
+			}
+		}
+		for i := int64(0); i < count; i++ {
+			specs = append(specs, gen.Generate(seed+i))
+		}
+	}
+
+	opts := difftest.Options{}
+	failed := 0
+	for _, ps := range specs {
+		if err := ps.Check(); err != nil {
+			return err
+		}
+		divs, err := difftest.Check(ps, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ps.Name, err)
+		}
+		if len(divs) == 0 {
+			fmt.Printf("%-8s ok (n=%d nests=%d iters=%d)\n", ps.Name, ps.N, len(ps.Nests), ps.Iters)
+			continue
+		}
+		failed++
+		for _, d := range divs {
+			fmt.Printf("%s\n", d)
+		}
+		min := difftest.Minimize(ps, func(c *gen.ProgramSpec) bool {
+			d, err := difftest.Check(c, difftest.Options{Repeats: 1})
+			return err == nil && len(d) > 0
+		})
+		minDivs, _ := difftest.Check(min, difftest.Options{Repeats: 1})
+		path, err := difftest.WriteRepro("gen-failures", min, minDivs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s DIVERGED — minimized repro written to %s\n", ps.Name, path)
+	}
+	if failed > 0 {
+		return fmt.Errorf("dsmrun: %d of %d generated programs diverged", failed, len(specs))
+	}
+	return nil
 }
 
 // writeProfile dumps a named runtime profile (block, mutex) to path.

@@ -26,6 +26,12 @@
 // migration counts; -homepolicy selects the policy every *other*
 // experiment runs under when combined with -protocol hlrc.
 //
+// The gendiff experiment (-only gendiff) runs deterministic generated
+// loop-nest programs (internal/loopc/gen) through every compiled
+// backend, protocol and home policy, checking each run bitwise against
+// the partition-aware oracle and for repeat determinism. Any divergence
+// fails the experiment; dsmrun -gen <seed> replays and minimizes it.
+//
 // The breakdown experiment (-only breakdown) runs every figure version
 // of every application with observability on and prints the per-node
 // virtual-time attribution — compute vs page-fault stall vs barrier,
@@ -68,7 +74,7 @@ func main() {
 	homepolicy := flag.String("homepolicy", "", "hlrc home-placement policy: static (default), firsttouch, or adaptive")
 	contention := flag.Int("contention", 0, "network contention: 0 off, -1 serial NICs only, N>0 serial NICs + N-way backplane")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: all host cores)")
-	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler,contention,migration,breakdown)")
+	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler,contention,migration,gendiff,breakdown)")
 	metricsAddr := flag.String("metrics-addr", "", "serve host-side telemetry (/metrics, /debug/pprof/*) on this address while the experiments run")
 	metricsDump := flag.String("metrics-dump", "", "write a final JSON snapshot of the metrics registry to this file")
 	flag.Parse()
@@ -146,6 +152,7 @@ func main() {
 		"compiler":   func(w *os.File, r *harness.Runner) error { return harness.Compiler(w, r) },
 		"contention": func(w *os.File, r *harness.Runner) error { return harness.Contention(w, r) },
 		"migration":  func(w *os.File, r *harness.Runner) error { return harness.Migration(w, r) },
+		"gendiff":    func(w *os.File, r *harness.Runner) error { return harness.GenDiff(w, r) },
 		"breakdown": func(w *os.File, r *harness.Runner) error {
 			// A separate observing runner: traces are per-run state the
 			// shared cache must not carry for the other experiments. Its
@@ -166,7 +173,7 @@ func main() {
 	for _, name := range want {
 		f, ok := table[strings.TrimSpace(name)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability, protocols, compiler, contention, migration, breakdown)\n", name, strings.Join(order, ", "))
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, scalability, protocols, compiler, contention, migration, gendiff, breakdown)\n", name, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		run(name, f)

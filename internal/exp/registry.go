@@ -11,6 +11,7 @@ import (
 	"repro/internal/apps/rbsor"
 	"repro/internal/apps/shallow"
 	"repro/internal/core"
+	"repro/internal/loopc/gen"
 )
 
 // PaperApps returns the six applications in the paper's order.
@@ -28,7 +29,14 @@ func Apps() []core.App {
 }
 
 // AppByName finds an application (including the non-paper kernels).
+// Names of the form "gen-<seed>" resolve to generated loopc programs
+// (see internal/loopc/gen); they are constructed on demand and stay out
+// of Apps(), so registry-driven sweeps and golden tables never pick
+// them up implicitly.
 func AppByName(name string) (core.App, error) {
+	if seed, ok := gen.ParseSeed(name); ok {
+		return gen.AppForSeed(seed), nil
+	}
 	for _, a := range Apps() {
 		if a.Name() == name {
 			return a, nil

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/loopc/gen"
 	"repro/internal/proto"
 )
 
@@ -78,6 +79,69 @@ func TestCompiledTrafficMatchesHand(t *testing.T) {
 			}
 			if gen.Time != hand.Time {
 				t.Errorf("%s/%s time %v != %s time %v", a.Name(), pair[1], gen.Time, pair[0], hand.Time)
+			}
+		}
+	}
+}
+
+// corpusSampleSeeds is the generated-program slice the harness
+// equivalence tests fold in: a spread across the committed corpus
+// (internal/loopc/testdata/corpus), trimmed under -short.
+func corpusSampleSeeds(t *testing.T) []int64 {
+	seeds := []int64{3, 9, 17, 30, 40}
+	if testing.Short() {
+		return seeds[:2]
+	}
+	return seeds
+}
+
+// TestCompiledEquivalenceCorpus extends the compiled-equivalence gate
+// beyond the hand-ported kernels: generated corpus programs have no
+// hand-coded counterpart, so the generated backends are checked bitwise
+// against the partition-aware oracle instead (plus repeatability),
+// under both protocols for the DSM backend.
+func TestCompiledEquivalenceCorpus(t *testing.T) {
+	for _, seed := range corpusSampleSeeds(t) {
+		a, err := AppByName(fmt.Sprintf("gen-%d", seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga := a.(*gen.App)
+		for _, procs := range ProtocolProcCounts {
+			for _, v := range []core.Version{core.SPFGen, core.XHPFGen} {
+				protocols := proto.Names()
+				if v == core.XHPFGen {
+					protocols = []proto.Name{""} // message passing: no DSM protocol
+				}
+				for _, p := range protocols {
+					t.Run(fmt.Sprintf("%s/%s/p%d/%s", a.Name(), v, procs, p), func(t *testing.T) {
+						want, err := ga.ExpectedChecksum(v, procs)
+						if err != nil {
+							t.Fatal(err)
+						}
+						r := NewRunner(procs, SmallScale)
+						r.Protocol = p
+						res, err := r.Run(a, v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if res.Checksum != want {
+							t.Errorf("%s checksum = %x, oracle %x", v, res.Checksum, want)
+						}
+						again := NewRunner(procs, SmallScale)
+						again.Protocol = p
+						res2, err := again.Run(a, v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if res2.Checksum != res.Checksum || res2.Time != res.Time ||
+							res2.Stats.TotalMsgs() != res.Stats.TotalMsgs() || res2.Stats.TotalBytes() != res.Stats.TotalBytes() {
+							t.Errorf("%s not repeatable: (checksum %v, time %v, msgs %d, bytes %d) vs (%v, %v, %d, %d)",
+								v, res.Checksum, res.Time, res.Stats.TotalMsgs(), res.Stats.TotalBytes(),
+								res2.Checksum, res2.Time, res2.Stats.TotalMsgs(), res2.Stats.TotalBytes())
+						}
+					})
+				}
 			}
 		}
 	}

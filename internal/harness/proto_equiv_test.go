@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/proto"
 )
 
@@ -68,6 +69,50 @@ func TestProtocolEquivalence(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestProtocolEquivalenceCorpus runs the same cross-protocol table over
+// a sample of the generated-program corpus: the spf-gen version of each
+// sampled program must produce bit-identical checksums under both
+// coherence protocols and all three home-placement policies. The
+// generated programs mix parity guards, serial interludes and in-place
+// multi-writer updates the hand-ported applications never combine —
+// the pattern that caught the twin-apply protocol bug (see
+// difftest.TestTwinApplyRegression).
+func TestProtocolEquivalenceCorpus(t *testing.T) {
+	for _, seed := range corpusSampleSeeds(t) {
+		a, err := AppByName(fmt.Sprintf("gen-%d", seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, procs := range ProtocolProcCounts {
+			t.Run(fmt.Sprintf("%s/p%d", a.Name(), procs), func(t *testing.T) {
+				base := NewRunner(procs, SmallScale)
+				first, err := base.RunProtocols(a, core.SPFGen, procs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, res := range first[1:] {
+					if res.Checksum != first[0].Checksum {
+						t.Errorf("checksum under %s = %v, want %v (as under %s)",
+							res.Protocol, res.Checksum, first[0].Checksum, first[0].Protocol)
+					}
+				}
+				for _, pol := range proto.PolicyNames() {
+					res, err := base.policySub(procs, pol).Run(a, core.SPFGen)
+					if err != nil {
+						t.Fatalf("hlrc/%s: %v", pol, err)
+					}
+					if res.Checksum != first[0].Checksum {
+						t.Errorf("checksum under hlrc/%s = %v, want %v", pol, res.Checksum, first[0].Checksum)
+					}
+					if procs == 1 && res.Migrations != 0 {
+						t.Errorf("single-node run under hlrc/%s migrated %d pages", pol, res.Migrations)
+					}
+				}
+			})
 		}
 	}
 }

@@ -55,8 +55,8 @@ var trafficGolden = []trafficGold{
 	{"Shallow", core.Version("pvme"), "", 112, 32256},
 	{"Shallow", core.Version("spf-opt"), "lrc", 384, 488760},
 	{"Shallow", core.Version("spf-opt"), "hlrc", 312, 493408},
-	{"MGS", core.Version("spf"), "lrc", 4072, 2188484},
-	{"MGS", core.Version("spf"), "hlrc", 2262, 2516364},
+	{"MGS", core.Version("spf"), "lrc", 4076, 1913104},
+	{"MGS", core.Version("spf"), "hlrc", 2262, 2497680},
 	{"MGS", core.Version("tmk"), "lrc", 3942, 1848600},
 	{"MGS", core.Version("tmk"), "hlrc", 2226, 2460156},
 	{"MGS", core.Version("xhpf"), "", 960, 82944},

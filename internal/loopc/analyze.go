@@ -34,11 +34,15 @@ func (c Class) String() string {
 // Analyzable is false otherwise (mismatched or constant index vars).
 // Refuted dependences are disproved by the nest's parity guard: the
 // write and the access touch elements of different (row+col) parity.
+// WriteStmt and OtherStmt are the statement indexes of the two accesses
+// within the nest, so diagnostics name the offending statements.
 type Dep struct {
 	Array      string
 	Dist       [2]int
 	Analyzable bool
 	Refuted    bool
+	WriteStmt  int
+	OtherStmt  int
 }
 
 // Carried reports whether the dependence constrains row parallelism:
@@ -67,6 +71,7 @@ type NestInfo struct {
 	Nest    *Nest
 	Class   Class
 	Why     string // Serial only: the disqualifying reason
+	WhyStmt int    // Serial only: index of the offending statement (-1 otherwise)
 	Deps    []Dep
 	Uses    map[string]*ArrayUse
 	Reduces []*Stmt // the nest's reduction statements
@@ -80,7 +85,7 @@ func mod2(x int) int { return ((x % 2) + 2) % 2 }
 // indexes cannot be satisfied from a replicated copy, so they serialize
 // the nest).
 func analyzeNest(nst *Nest, writtenAnywhere map[string]bool) *NestInfo {
-	info := &NestInfo{Nest: nst, Uses: map[string]*ArrayUse{}}
+	info := &NestInfo{Nest: nst, WhyStmt: -1, Uses: map[string]*ArrayUse{}}
 	use := func(name string) *ArrayUse {
 		u := info.Uses[name]
 		if u == nil {
@@ -90,34 +95,38 @@ func analyzeNest(nst *Nest, writtenAnywhere map[string]bool) *NestInfo {
 		return u
 	}
 
-	// Collect the nest's writes and reads.
+	// Collect the nest's writes and reads, remembering which statement
+	// each access came from so serialization reasons are self-describing
+	// (a minimized fuzz repro names the exact offending statement).
 	type acc struct {
 		a     Access
 		write bool
+		stmt  int
 	}
 	var accs []acc
-	serialize := func(why string) {
+	serialize := func(stmt int, why string) {
 		if info.Class != Serial {
 			info.Class = Serial
-			info.Why = why
+			info.Why = fmt.Sprintf("stmt %d: %s", stmt, why)
+			info.WhyStmt = stmt
 		}
 	}
-	for _, s := range nst.Stmts {
+	for si, s := range nst.Stmts {
 		if s.ReduceInto != "" {
 			info.Reduces = append(info.Reduces, s)
 		} else {
-			accs = append(accs, acc{s.LHS, true})
+			accs = append(accs, acc{s.LHS, true, si})
 			u := use(s.LHS.Array)
 			u.Written = true
 			// Owner-computes needs the written row to be the iteration's
 			// own row.
 			if s.LHS.Row.Var != nst.Row.Var || s.LHS.Row.Off != 0 {
-				serialize(fmt.Sprintf("write %s[%s%+d] not aligned with the row loop",
+				serialize(si, fmt.Sprintf("write %s[%s%+d] not aligned with the row loop",
 					s.LHS.Array, s.LHS.Row.Var, s.LHS.Row.Off))
 			}
 		}
 		s.RHS.walk(func(a Access) {
-			accs = append(accs, acc{a, false})
+			accs = append(accs, acc{a, false, si})
 			u := use(a.Array)
 			if a.Row.Var == nst.Row.Var {
 				if !u.Read || a.Row.Off < u.MinRowOff {
@@ -130,7 +139,7 @@ func analyzeNest(nst *Nest, writtenAnywhere map[string]bool) *NestInfo {
 				u.NonRowRead = true
 				if writtenAnywhere[a.Array] {
 					// A replicated/owner copy cannot serve this read.
-					serialize(fmt.Sprintf("read %s through non-row index %q", a.Array, a.Row.Var))
+					serialize(si, fmt.Sprintf("read %s through non-row index %q", a.Array, a.Row.Var))
 				}
 			}
 			u.Read = true
@@ -151,7 +160,7 @@ func analyzeNest(nst *Nest, writtenAnywhere map[string]bool) *NestInfo {
 			if a.a.Array != w.a.Array || (a.write && a.a == w.a) {
 				continue
 			}
-			d := Dep{Array: w.a.Array}
+			d := Dep{Array: w.a.Array, WriteStmt: w.stmt, OtherStmt: a.stmt}
 			if analyzable(w.a) && analyzable(a.a) {
 				d.Analyzable = true
 				d.Dist = [2]int{w.a.Row.Off - a.a.Row.Off, w.a.Col.Off - a.a.Col.Off}
@@ -166,7 +175,8 @@ func analyzeNest(nst *Nest, writtenAnywhere map[string]bool) *NestInfo {
 			}
 			info.Deps = append(info.Deps, d)
 			if d.Carried() {
-				serialize(fmt.Sprintf("row-carried dependence on %s (distance %v)", d.Array, d.Dist))
+				serialize(w.stmt, fmt.Sprintf("row-carried dependence on %s against stmt %d (distance %v)",
+					d.Array, a.stmt, d.Dist))
 			}
 		}
 	}

@@ -1,0 +1,59 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/loopc/gen"
+)
+
+// CorpusSeeds are the generator seeds of the committed corpus under
+// internal/loopc/testdata/corpus. Adding a seed here and running the
+// corpus test with -update-gen-corpus regenerates the files; removing
+// or reordering entries invalidates the golden traffic table.
+func CorpusSeeds() []int64 {
+	seeds := make([]int64, 0, 40)
+	for s := int64(1); s <= 40; s++ {
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// CorpusDir is the committed corpus location relative to this package.
+const CorpusDir = "../testdata/corpus"
+
+// LoadCorpus reads every committed corpus entry, sorted by filename.
+func LoadCorpus(dir string) ([]*gen.ProgramSpec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("difftest: no corpus entries in %s", dir)
+	}
+	specs := make([]*gen.ProgramSpec, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		ps, err := gen.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		if err := ps.Check(); err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		specs = append(specs, ps)
+	}
+	return specs, nil
+}

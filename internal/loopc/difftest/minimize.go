@@ -1,0 +1,224 @@
+package difftest
+
+import (
+	"repro/internal/loopc/gen"
+)
+
+// Minimize delta-debugs a failing program: it greedily applies
+// shrinking transformations — drop whole nests, drop statements, cut
+// the iteration count, shrink the grid, remove parity guards, zero
+// access offsets, collapse expression trees — keeping a candidate only
+// if it still passes gen.Check (validity never regresses) and still
+// fails the caller's predicate. It loops to a fixpoint, so the result
+// is 1-minimal with respect to the transformation set.
+//
+// fail must be deterministic (run a Check lattice, compare a checksum —
+// anything pure in the spec). Minimize calls it O(size²) times; keep
+// the predicate's lattice small (one backend, one processor count) when
+// minimizing interactively.
+func Minimize(ps *gen.ProgramSpec, fail func(*gen.ProgramSpec) bool) *gen.ProgramSpec {
+	cur := ps.Clone()
+	if cur.Check() != nil || !fail(cur) {
+		return cur // not a reproducible failure; nothing to shrink
+	}
+	for {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if cand.Check() != nil {
+				continue
+			}
+			if fail(cand) {
+				cur = cand
+				improved = true
+				break // restart candidate generation from the smaller spec
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// candidates generates every one-step shrink of ps, larger cuts first
+// (dropping a nest beats zeroing an offset).
+func candidates(ps *gen.ProgramSpec) []*gen.ProgramSpec {
+	var out []*gen.ProgramSpec
+	add := func(m *gen.ProgramSpec) { out = append(out, prune(m)) }
+
+	// Drop each nest.
+	if len(ps.Nests) > 1 {
+		for ni := range ps.Nests {
+			m := ps.Clone()
+			m.Nests = append(m.Nests[:ni:ni], m.Nests[ni+1:]...)
+			add(m)
+		}
+	}
+	// Drop each statement.
+	for ni := range ps.Nests {
+		if len(ps.Nests[ni].Stmts) <= 1 {
+			continue
+		}
+		for si := range ps.Nests[ni].Stmts {
+			m := ps.Clone()
+			ns := m.Nests[ni]
+			ns.Stmts = append(ns.Stmts[:si:si], ns.Stmts[si+1:]...)
+			add(m)
+		}
+	}
+	// Fewer iterations.
+	if ps.Iters > 1 {
+		m := ps.Clone()
+		m.Iters = 1
+		add(m)
+	}
+	// Smaller grid.
+	for _, n := range []int{8, 16, 24} {
+		if n < ps.N {
+			m := ps.Clone()
+			m.N = n
+			add(m)
+		}
+	}
+	// Remove parity guards.
+	for ni := range ps.Nests {
+		if ps.Nests[ni].Parity == nil {
+			continue
+		}
+		m := ps.Clone()
+		m.Nests[ni].Parity = nil
+		add(m)
+	}
+	// Zero each nonzero access offset. The clone has the same offsets
+	// in the same stable order, so slot indexes carry over.
+	for ni := range ps.Nests {
+		for slot := range offsets(ps.Nests[ni]) {
+			m := ps.Clone()
+			*offsets(m.Nests[ni])[slot].ptr = 0
+			add(m)
+		}
+	}
+	// Collapse each binary node to its left operand.
+	for ni := range ps.Nests {
+		nbin := countBins(ps.Nests[ni])
+		for b := 0; b < nbin; b++ {
+			m := ps.Clone()
+			collapseBin(m.Nests[ni], b)
+			add(m)
+		}
+	}
+	return out
+}
+
+// offset identifies one nonzero offset inside a nest.
+type offset struct {
+	slot int
+	ptr  *int
+}
+
+// offsets lists pointers to every nonzero index offset in the nest, in
+// a stable order (statement, LHS then RHS, row then col).
+func offsets(ns *gen.NestSpec) []offset {
+	var out []offset
+	visit := func(a *gen.AccessSpec) {
+		for _, p := range []*int{&a.Row.Off, &a.Col.Off} {
+			if *p != 0 {
+				out = append(out, offset{slot: len(out), ptr: p})
+			}
+		}
+	}
+	for si := range ns.Stmts {
+		if lhs := ns.Stmts[si].LHS; lhs != nil {
+			visit(lhs)
+		}
+		walkExpr(ns.Stmts[si].RHS, func(e *gen.ExprSpec) {
+			if e.Ref != nil {
+				visit(e.Ref)
+			}
+		})
+	}
+	return out
+}
+
+// walkExpr visits every node of an expression tree, parents first.
+func walkExpr(e *gen.ExprSpec, f func(*gen.ExprSpec)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	walkExpr(e.L, f)
+	walkExpr(e.R, f)
+}
+
+// countBins counts binary nodes in a nest's expressions.
+func countBins(ns *gen.NestSpec) int {
+	n := 0
+	for si := range ns.Stmts {
+		walkExpr(ns.Stmts[si].RHS, func(e *gen.ExprSpec) {
+			if e.Op != "" {
+				n++
+			}
+		})
+	}
+	return n
+}
+
+// collapseBin replaces the k-th binary node (same traversal order as
+// countBins) with its left operand.
+func collapseBin(ns *gen.NestSpec, k int) {
+	seen := 0
+	for si := range ns.Stmts {
+		walkExpr(ns.Stmts[si].RHS, func(e *gen.ExprSpec) {
+			if e.Op == "" {
+				return
+			}
+			if seen == k && e.L != nil {
+				*e = *e.L
+			}
+			seen++
+		})
+	}
+}
+
+// prune drops declarations a shrink orphaned: scalars no statement
+// reduces (and reduce statements whose scalar is gone), arrays nothing
+// references except the result array. Without pruning, Check would
+// reject most structural shrinks for dangling names.
+func prune(ps *gen.ProgramSpec) *gen.ProgramSpec {
+	reduced := map[string]bool{}
+	for _, ns := range ps.Nests {
+		for si := range ns.Stmts {
+			if ns.Stmts[si].ReduceInto != "" {
+				reduced[ns.Stmts[si].ReduceInto] = true
+			}
+		}
+	}
+	var scalars []string
+	for _, s := range ps.Scalars {
+		if reduced[s] {
+			scalars = append(scalars, s)
+		}
+	}
+	ps.Scalars = scalars
+
+	used := map[string]bool{ps.Result: true}
+	for _, ns := range ps.Nests {
+		for si := range ns.Stmts {
+			if lhs := ns.Stmts[si].LHS; lhs != nil {
+				used[lhs.Array] = true
+			}
+			walkExpr(ns.Stmts[si].RHS, func(e *gen.ExprSpec) {
+				if e.Ref != nil {
+					used[e.Ref.Array] = true
+				}
+			})
+		}
+	}
+	var arrays []gen.ArraySpec
+	for _, a := range ps.Arrays {
+		if used[a.Name] {
+			arrays = append(arrays, a)
+		}
+	}
+	ps.Arrays = arrays
+	return ps
+}

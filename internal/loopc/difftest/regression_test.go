@@ -1,0 +1,87 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/loopc/gen"
+)
+
+// twinApplyRepro is the first real divergence this harness found (seed 30
+// of the corpus, shrunk by Minimize): a parallel in-place update of a
+// multi-writer page, followed by a serial master-only overwrite of the
+// same rows, followed by a parallel pure-read reduction. Under the
+// homeless protocol the master applied the workers' diffs to its page
+// while holding a live twin without refreshing the twin, so its serial
+// overwrite — which restored bytes to the twin's stale values — vanished
+// from the next extracted diff and the workers reduced over their own
+// stale rows. Fixed by applying incoming diffs to the twin as well
+// (tmk.Region.apply), the TreadMarks rule that a twin always shows only
+// this node's un-extracted writes.
+var twinApplyRepro = gen.MustParse(`
+{
+  "seed": 30,
+  "name": "twin-apply-regression",
+  "n": 8,
+  "iters": 2,
+  "arrays": [
+    {"name": "a", "init": "coords"},
+    {"name": "b", "init": "ramp"}
+  ],
+  "scalars": ["s1"],
+  "nests": [
+    {
+      "name": "n2",
+      "row": {"var": "i", "lo": {"ncoeff": 0, "const": 2}, "hi": {"ncoeff": 1, "const": -2}},
+      "col": {"var": "j", "lo": {"ncoeff": 0, "const": 2}, "hi": {"ncoeff": 1, "const": -2}},
+      "stmts": [
+        {
+          "rhs": {"op": "*", "l": {"lit": 1.5}, "r": {"ref": {"array": "b", "row": {"var": "i", "off": 0}, "col": {"var": "j", "off": 0}}}},
+          "reduce_into": "s1",
+          "reduce_op": "sum"
+        }
+      ],
+      "point_cost_ns": 35
+    },
+    {
+      "name": "n3",
+      "row": {"var": "i", "lo": {"ncoeff": 0, "const": 2}, "hi": {"ncoeff": 1, "const": -2}},
+      "col": {"var": "j", "lo": {"ncoeff": 0, "const": 2}, "hi": {"ncoeff": 1, "const": -2}},
+      "stmts": [
+        {
+          "lhs": {"array": "b", "row": {"var": "i", "off": 0}, "col": {"var": "j", "off": 0}},
+          "rhs": {"op": "+", "l": {"ref": {"array": "b", "row": {"var": "i", "off": 0}, "col": {"var": "j", "off": 0}}}, "r": {"ref": {"array": "b", "row": {"var": "i", "off": 0}, "col": {"var": "j", "off": 0}}}}
+        }
+      ],
+      "point_cost_ns": 35
+    },
+    {
+      "name": "n4",
+      "row": {"var": "i", "lo": {"ncoeff": 0, "const": 2}, "hi": {"ncoeff": 1, "const": -2}},
+      "col": {"var": "j", "lo": {"ncoeff": 0, "const": 2}, "hi": {"ncoeff": 1, "const": -2}},
+      "stmts": [
+        {
+          "lhs": {"array": "b", "row": {"var": "i", "off": 0}, "col": {"var": "j", "off": 0}},
+          "rhs": {"ref": {"array": "b", "row": {"var": "i", "off": -1}, "col": {"var": "j", "off": 0}}}
+        }
+      ],
+      "point_cost_ns": 50
+    }
+  ],
+  "result": "a"
+}
+`)
+
+// TestTwinApplyRegression keeps the minimized repro honest against every
+// backend, protocol and processor count it originally diverged at.
+func TestTwinApplyRegression(t *testing.T) {
+	if err := twinApplyRepro.Check(); err != nil {
+		t.Fatal(err)
+	}
+	divs, err := Check(twinApplyRepro, Options{Procs: []int{2, 3, 4}, Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range divs {
+		t.Errorf("%s", d)
+	}
+}

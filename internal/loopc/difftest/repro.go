@@ -1,0 +1,36 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/loopc/gen"
+)
+
+// WriteRepro writes a minimized failing program to dir as a corpus
+// entry (<name>.json, loadable with gen.Parse / the -gen flag) plus a
+// report (<name>.repro.txt) carrying the divergences and the spec as a
+// committable Go literal — the artifact a CI failure uploads and a
+// human pastes into a regression test. Returns the JSON path.
+func WriteRepro(dir string, ps *gen.ProgramSpec, divs []Divergence) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	jsonPath := filepath.Join(dir, ps.Name+".json")
+	if err := os.WriteFile(jsonPath, ps.JSON(), 0o644); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "differential divergence: %s (seed %d)\n\n", ps.Name, ps.Seed)
+	for _, d := range divs {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	fmt.Fprintf(&b, "\nreproduce:\n\n  go run ./cmd/dsmrun -genfile %s\n", jsonPath)
+	fmt.Fprintf(&b, "\nminimized spec as a Go literal:\n\n%s\n", gen.GoLiteral(ps))
+	if err := os.WriteFile(filepath.Join(dir, ps.Name+".repro.txt"), []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return jsonPath, nil
+}

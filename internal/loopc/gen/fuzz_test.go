@@ -1,0 +1,66 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/proto"
+)
+
+// FuzzGenProgram fuzzes the program space itself: a generator seed
+// picks a valid corpus-style program, the mutation bytes push it around
+// the envelope (Mutate is byte-driven and deliberately allowed to
+// produce invalid specs — Check rejects those, so the fuzzer explores
+// the boundary from both sides), and every surviving program runs
+// differentially: the sequential interpreter and the spf-gen DSM
+// backend at two processors, each checked bitwise against the
+// partition-aware oracle. This is the open-ended companion of the
+// fixed corpus in internal/loopc/testdata/corpus; the committed
+// regression inputs live under testdata/fuzz/FuzzGenProgram.
+func FuzzGenProgram(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(7), []byte{0, 1})        // resize
+	f.Add(int64(13), []byte{9, 1})       // literal scale
+	f.Add(int64(30), []byte{4, 0, 7, 3}) // parity toggle + bound nudge (the twin-apply shape)
+	f.Add(int64(40), []byte{11, 2, 2, 1})
+
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		if seed < 0 {
+			return
+		}
+		m := Mutate(Generate(seed%1024), data)
+		if m.Check() != nil {
+			return // the mutation left the analyzable envelope
+		}
+		app, err := NewApp(m)
+		if err != nil {
+			t.Fatalf("Check passed but NewApp failed: %v", err)
+		}
+		const procs = 2
+		run := func(v core.Version, procs int) float64 {
+			cfg := app.Config(core.SmallScale, procs)
+			cfg.Costs = model.SP2()
+			cfg.App = model.DefaultAppCosts()
+			cfg.Protocol = proto.HomelessLRC
+			res, err := app.Run(v, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", v, err)
+			}
+			return res.Checksum
+		}
+		oracle := func(v core.Version, procs int) float64 {
+			want, err := app.ExpectedChecksum(v, procs)
+			if err != nil {
+				t.Fatalf("oracle %s: %v", v, err)
+			}
+			return want
+		}
+		if got, want := run(core.Seq, 1), oracle(core.Seq, 1); got != want {
+			t.Errorf("seq checksum %x, oracle %x\nspec:\n%s", got, want, m.JSON())
+		}
+		if got, want := run(core.SPFGen, procs), oracle(core.SPFGen, procs); got != want {
+			t.Errorf("spf-gen@%d checksum %x, oracle %x\nspec:\n%s", procs, got, want, m.JSON())
+		}
+	})
+}

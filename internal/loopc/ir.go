@@ -206,28 +206,31 @@ func (p *Program) Validate() error {
 		if len(nst.Stmts) == 0 {
 			return fmt.Errorf("loopc: %s/%s: empty nest", p.Name, nst.Name)
 		}
-		check := func(a Access) error {
-			if _, ok := arrays[a.Array]; !ok {
-				return fmt.Errorf("loopc: %s/%s: unknown array %q", p.Name, nst.Name, a.Array)
-			}
-			for _, ix := range []Index{a.Row, a.Col} {
-				if ix.Var != "" && ix.Var != nst.Row.Var && ix.Var != nst.Col.Var {
-					return fmt.Errorf("loopc: %s/%s: index var %q not a loop var", p.Name, nst.Name, ix.Var)
+		for si, s := range nst.Stmts {
+			// Statement-scoped checks carry the statement index so a
+			// generated or minimized program's rejection names the exact
+			// offending statement.
+			check := func(a Access) error {
+				if _, ok := arrays[a.Array]; !ok {
+					return fmt.Errorf("loopc: %s/%s: stmt %d: unknown array %q", p.Name, nst.Name, si, a.Array)
 				}
+				for _, ix := range []Index{a.Row, a.Col} {
+					if ix.Var != "" && ix.Var != nst.Row.Var && ix.Var != nst.Col.Var {
+						return fmt.Errorf("loopc: %s/%s: stmt %d: index var %q not a loop var", p.Name, nst.Name, si, ix.Var)
+					}
+				}
+				return nil
 			}
-			return nil
-		}
-		for _, s := range nst.Stmts {
 			var err error
 			if s.ReduceInto != "" {
 				if _, ok := scalars[s.ReduceInto]; !ok {
-					return fmt.Errorf("loopc: %s/%s: unknown scalar %q", p.Name, nst.Name, s.ReduceInto)
+					return fmt.Errorf("loopc: %s/%s: stmt %d: unknown scalar %q", p.Name, nst.Name, si, s.ReduceInto)
 				}
 				if s.Op != ReduceSum && s.Op != ReduceMax {
-					return fmt.Errorf("loopc: %s/%s: unknown reduction op %q", p.Name, nst.Name, s.Op)
+					return fmt.Errorf("loopc: %s/%s: stmt %d: unknown reduction op %q", p.Name, nst.Name, si, s.Op)
 				}
 				if prev, seen := ops[s.ReduceInto]; seen && prev != s.Op {
-					return fmt.Errorf("loopc: %s: scalar %q reduced with two operators", p.Name, s.ReduceInto)
+					return fmt.Errorf("loopc: %s/%s: stmt %d: scalar %q reduced with two operators", p.Name, nst.Name, si, s.ReduceInto)
 				}
 				ops[s.ReduceInto] = s.Op
 			} else if err = check(s.LHS); err != nil {

@@ -247,6 +247,17 @@ func (r *Region[T]) apply(lp int32, payload any) {
 	for _, s := range segs {
 		copy(r.data[base+int(s.off):base+int(s.off)+len(s.vals)], s.vals)
 	}
+	// An incoming diff must land in the live twin too (as in TreadMarks),
+	// keeping the invariant that page-vs-twin shows only *this* node's
+	// un-extracted writes. Otherwise a later local write that restores a
+	// byte to the twin's now-stale value silently vanishes from the next
+	// diff, and remote bytes get re-shipped under this node's interval
+	// labels.
+	if tw := r.twins[lp]; tw != nil {
+		for _, s := range segs {
+			copy(tw[int(s.off):int(s.off)+len(s.vals)], s.vals)
+		}
+	}
 }
 
 func (r *Region[T]) snapshot(lo, hi int) (any, int) {

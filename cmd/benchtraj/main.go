@@ -25,19 +25,32 @@
 // on the machine and its load — so -gate and -diff never compare it;
 // it exists to let successive BENCH_<n>.json files tell the story of
 // the simulator's own performance alongside the virtual results.
+//
+//	benchtraj -gate BENCH_6.json -fabric host1:9190,host2:9190
+//
+// -fabric runs the -gate golden set through the distributed sweep
+// fabric (comma-separated worker addresses, as dsmrun -fabric takes)
+// instead of the local engine. Because the gate is exact, this is the
+// fabric's cross-machine acceptance check: any worker whose simulation
+// differs from the coordinator's build — wrong binary, wrong
+// calibration, broken hardware — drifts the trajectory and fails the
+// gate.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fabric"
 	"repro/internal/proto"
 )
 
@@ -106,6 +119,7 @@ func main() {
 	gate := flag.String("gate", "", "re-run the golden set and compare against this trajectory file")
 	tol := flag.Float64("tol", 0, "relative virtual-time tolerance for -gate/-diff (0: exact)")
 	workers := flag.Int("workers", 0, "worker pool size (0: all host cores)")
+	fabricAddrs := flag.String("fabric", "", "comma-separated fabric worker addresses: run the -gate golden set through the distributed fabric")
 	flag.Parse()
 
 	diffArgs := flag.Args()
@@ -115,7 +129,7 @@ func main() {
 			fatal(err)
 		}
 	case *gate != "" && *out == "" && len(diffArgs) == 0:
-		drift, err := gateRun(*gate, *tol, *workers)
+		drift, err := gateRun(*gate, *tol, *workers, *fabricAddrs)
 		if err != nil {
 			fatal(err)
 		}
@@ -209,17 +223,22 @@ func load(path string) (map[string]exp.Record, error) {
 	return recs, nil
 }
 
-// gateRun re-runs the golden set and compares it to the committed
+// gateRun re-runs the golden set — locally, or across the fabric when
+// worker addresses are given — and compares it to the committed
 // trajectory, returning the number of drifted runs.
-func gateRun(path string, tol float64, workers int) (int, error) {
+func gateRun(path string, tol float64, workers int, fabricAddrs string) (int, error) {
 	want, err := load(path)
 	if err != nil {
 		return 0, err
 	}
-	e := engine(workers)
+	specs := goldenSpecs()
+	fresh, err := freshRecords(specs, workers, fabricAddrs)
+	if err != nil {
+		return 0, err
+	}
 	drift := 0
-	for _, s := range goldenSpecs() {
-		got := e.Record(s)
+	for i, s := range specs {
+		got := fresh[i]
 		if got.Error != "" {
 			drift++
 			fmt.Fprintf(os.Stderr, "benchtraj: %s: run failed: %s\n", s.Key(), got.Error)
@@ -234,6 +253,51 @@ func gateRun(path string, tol float64, workers int) (int, error) {
 		drift += compare(w, got, tol)
 	}
 	return drift, nil
+}
+
+// freshRecords re-runs the golden set, in spec order. With fabric
+// worker addresses the set runs through a fabric.Coordinator — the
+// merged stream is byte-compatible with a local sweep, so the records
+// parse identically; run failures travel as error records and drift
+// the gate rather than aborting it.
+func freshRecords(specs []exp.Spec, workers int, fabricAddrs string) ([]exp.Record, error) {
+	if fabricAddrs == "" {
+		e := engine(workers)
+		recs := make([]exp.Record, len(specs))
+		for i, s := range specs {
+			recs[i] = e.Record(s)
+		}
+		return recs, nil
+	}
+	c := &fabric.Coordinator{
+		Workers: strings.Split(fabricAddrs, ","),
+		Speedup: true,
+		Observe: true,
+		Engine:  engine(workers),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "benchtraj: "+format+"\n", args...)
+		},
+	}
+	var buf bytes.Buffer
+	if _, err := c.Run(&buf, specs); err != nil {
+		// Joined run failures are already error records in the stream;
+		// they drift the gate below. Anything else is a real abort.
+		if buf.Len() == 0 {
+			return nil, err
+		}
+	}
+	var recs []exp.Record
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		rec, err := exp.ValidateLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("fabric stream: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != len(specs) {
+		return nil, fmt.Errorf("fabric stream has %d records for %d golden specs", len(recs), len(specs))
+	}
+	return recs, nil
 }
 
 // diffFiles compares two trajectory files over the keys of the old one.

@@ -107,7 +107,28 @@
 // byte-identical regardless of -workers. -speedup joins every non-seq
 // record with its sequential baseline (seq_ns/seq_seconds/speedup
 // fields), so plots need no post-join. Run failures become records
-// with an "error" field and a non-zero exit status.
+// with an "error" field, a stderr summary ("sweep: N of M records
+// failed") and a non-zero exit status.
+//
+// Distributed sweeps (the sweep fabric):
+//
+//	dsmrun -worker-listen :9190                 # serve as a fabric worker
+//	dsmrun -sweep "..." -fabric host1:9190,host2:9190 [-fabric-range N] [-fabric-lease 2m]
+//
+// -fabric shards the sweep across worker daemons (dsmrun
+// -worker-listen or sweepd) listed as comma-separated addresses: the
+// coordinator splits the spec list into leased ranges, assigns them
+// over HTTP, validates and re-merges the streamed records into spec
+// order — the stdout bytes are identical to a local -sweep at any
+// worker count. Leases have deadlines (-fabric-lease); expired,
+// crashed, or malformed leases are retried and reassigned, stragglers
+// are re-issued to idle workers (first valid result wins), and ranges
+// the fleet cannot finish fall back to local execution, so an empty or
+// fully-dead fleet degrades to a plain local sweep. Workers whose
+// build has a different record schema version are rejected at
+// registration. With -metrics-addr the /progress endpoint serves the
+// aggregated fleet snapshot (per-worker leases, expiries, inflight,
+// ETA) and /metrics adds the dsm_fabric_* families.
 package main
 
 import (
@@ -123,6 +144,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fabric"
 	"repro/internal/harness"
 	"repro/internal/loopc/difftest"
 	"repro/internal/loopc/gen"
@@ -144,6 +166,10 @@ func main() {
 	speedup := flag.Bool("speedup", false, "join sweep records with their sequential baselines (seq_ns/speedup fields)")
 	sweep := flag.String("sweep", "", `sweep axes, e.g. "procs=1,2,4,8 protocol=lrc,hlrc" (emits JSON-lines)`)
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: all host cores)")
+	fabricAddrs := flag.String("fabric", "", "comma-separated fabric worker addresses: shard -sweep across them (merged output stays byte-identical)")
+	fabricRange := flag.Int("fabric-range", 0, "specs per fabric lease (0: 4)")
+	fabricLease := flag.Duration("fabric-lease", 0, "fabric lease deadline before reassignment (0: 2m)")
+	workerListen := flag.String("worker-listen", "", "serve as a fabric worker on this address (e.g. :9190) instead of running anything")
 	trace := flag.String("trace", "", "write the run's event trace as Chrome trace_event JSON to this file (single run)")
 	breakdown := flag.Bool("breakdown", false, "print the per-node time attribution (single run) or add bd_* fields (sweep)")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile of the simulator to this file")
@@ -193,6 +219,10 @@ func main() {
 		defer writeProfile("mutex", *mutexprofile)
 	}
 
+	if *workerListen != "" {
+		runWorker(*workerListen, *workers)
+		return
+	}
 	if *genSpec != "" || *genFile != "" {
 		if err := runGenDiff(*genSpec, *genFile); err != nil {
 			fatal(err)
@@ -251,11 +281,15 @@ func main() {
 	// serveTelemetry starts the HTTP endpoint (if asked for) once the
 	// progress aggregator exists; dumpMetrics writes the final JSON
 	// snapshot (if asked for) and must run before exiting on error too.
-	serveTelemetry := func(prog *exp.Progress) {
+	serveTelemetry := func(prog http.Handler) {
 		if *metricsAddr == "" {
 			return
 		}
-		mux := metrics.NewMux(eng.Metrics, map[string]http.Handler{"/progress": prog})
+		extra := map[string]http.Handler{}
+		if prog != nil {
+			extra["/progress"] = prog
+		}
+		mux := metrics.NewMux(eng.Metrics, extra)
 		_, addr, err := metrics.StartServer(*metricsAddr, mux)
 		if err != nil {
 			fatal(err)
@@ -298,11 +332,36 @@ func main() {
 		if *progress {
 			progOut = os.Stderr
 		}
-		prog := exp.NewProgress(exp.UniqueRuns(specs, *speedup), progOut, eng)
-		eng.OnRunDone = prog.RunDone
-		serveTelemetry(prog)
-		err = eng.Stream(os.Stdout, specs)
+		var stats exp.StreamStats
+		if *fabricAddrs != "" {
+			// Distributed sweep: shard the spec list across the fleet.
+			// The merged stdout bytes are identical to the local path
+			// below; failure accounting is shared (StreamStats either way).
+			coord := &fabric.Coordinator{
+				Workers:      strings.Split(*fabricAddrs, ","),
+				RangeSize:    *fabricRange,
+				LeaseTimeout: *fabricLease,
+				Speedup:      *speedup,
+				Observe:      eng.Observe,
+				Engine:       eng,
+				Metrics:      eng.Metrics,
+				Out:          progOut,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "dsmrun: "+format+"\n", args...)
+				},
+			}
+			serveTelemetry(coord)
+			stats, err = coord.Run(os.Stdout, specs)
+		} else {
+			prog := exp.NewProgress(exp.UniqueRuns(specs, *speedup), progOut, eng)
+			eng.OnRunDone = prog.RunDone
+			serveTelemetry(prog)
+			stats, err = eng.StreamWith(os.Stdout, specs, nil)
+		}
 		dumpMetrics()
+		if stats.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "dsmrun: sweep: %d of %d records failed\n", stats.Failed, stats.Records)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -387,6 +446,26 @@ func printJSON(s exp.Spec, res, seq core.Result, haveSeq bool) {
 	if err := json.NewEncoder(os.Stdout).Encode(rec); err != nil {
 		fatal(err)
 	}
+}
+
+// runWorker is the -worker-listen mode: serve as a fabric worker until
+// killed, with the full telemetry surface (/metrics, /debug/pprof/*)
+// next to the fabric endpoints. cmd/sweepd is the same daemon plus
+// CI's fault injection.
+func runWorker(listen string, workers int) {
+	reg := metrics.NewRegistry()
+	w := fabric.NewWorker(reg)
+	w.Workers = workers
+	w.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dsmrun: "+format+"\n", args...)
+	}
+	mux := metrics.NewMux(reg, w.Routes())
+	_, addr, err := metrics.StartServer(listen, mux)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dsmrun: fabric worker serving /healthz, /run, /progress and /metrics on http://%s\n", addr)
+	select {} // serve until killed
 }
 
 // runGenDiff is the -gen/-genfile mode: run generated programs through

@@ -1,0 +1,72 @@
+// Command sweepd is the sweep-fabric worker daemon: it serves leased
+// spec ranges to a dsmrun -fabric coordinator over HTTP, executing
+// them through the internal/exp engine (spec-keyed result cache
+// intact) and streaming back stamped JSON-lines records.
+//
+//	sweepd -listen :9190 [-workers N]
+//
+// Endpoints:
+//
+//	GET  /healthz   — registration handshake: {"ok":true,"schema_version":N}.
+//	                  Coordinators refuse workers whose schema_version
+//	                  differs from their own build's (satellite: mismatched
+//	                  builds are rejected, never silently merged).
+//	POST /run       — one lease: {"schema_version":N,"lease":ID,"keys":[...]}
+//	                  answered with one stamped record per key, in key
+//	                  order, as NDJSON. Malformed requests get 400.
+//	/progress       — JSON snapshot of the worker's run progress (totals
+//	                  grow lease by lease).
+//	/metrics        — Prometheus text: dsm_fabric_worker_* lease/record
+//	                  counters plus the first engine's host telemetry.
+//	/debug/pprof/*  — live profiling of the worker process.
+//
+// -workers bounds the engine's host worker pool (0: all cores). The
+// daemon runs until killed; coherent shutdown is the coordinator's
+// problem — its lease table reassigns anything a dead worker held.
+//
+// Fault injection (CI only):
+//
+//	sweepd -listen :9191 -kill-after 3
+//
+// -kill-after N exits the process (status 3) after streaming N
+// records, mid-lease and mid-stream — the crash the fabric-smoke job
+// uses to prove lease reassignment keeps merged output byte-identical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+)
+
+func main() {
+	listen := flag.String("listen", ":9190", "address to serve the worker endpoints on")
+	workers := flag.Int("workers", 0, "engine worker pool size (0: all host cores)")
+	killAfter := flag.Int64("kill-after", 0, "fault injection: exit(3) after streaming this many records (0: never)")
+	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	w := fabric.NewWorker(reg)
+	w.Workers = *workers
+	w.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sweepd: "+format+"\n", args...)
+	}
+	if *killAfter > 0 {
+		w.KillAfterRecords = *killAfter
+		// A whole-process kill, not the in-process default: the stream
+		// cuts off exactly where a crashed machine would cut it off.
+		w.Kill = func() { os.Exit(3) }
+	}
+
+	mux := metrics.NewMux(reg, w.Routes())
+	_, addr, err := metrics.StartServer(*listen, mux)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: serving /healthz, /run, /progress and /metrics on http://%s\n", addr)
+	select {} // serve until killed
+}

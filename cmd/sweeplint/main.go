@@ -14,6 +14,15 @@
 // emitted by `dsmrun -sweep ... -speedup`); their internal consistency
 // is part of the schema and checked always.
 //
+// With -require-schema every record must carry a schema_version field
+// matching this build's (a mismatched stamp always fails validation;
+// the flag additionally rejects records with no stamp at all). This is
+// the sweep fabric's wire format — workers stamp every streamed record
+// so coordinators from a different build reject the stream instead of
+// silently merging it; CI pipes a worker's raw /run stream through
+// `sweeplint -require-schema`. Merged fabric output is unstamped, like
+// any local sweep.
+//
 // Exit status: 0 when every record validates and none carries an error
 // (and the count matches -n, if given); 1 otherwise. CI's sweep smoke
 // job pipes a tiny cross-product through it.
@@ -56,6 +65,7 @@ import (
 func main() {
 	expected := flag.Int("n", -1, "expected record count (-1: any)")
 	speedup := flag.Bool("speedup", false, "require the seq-baseline join fields on every non-seq record")
+	requireSchema := flag.Bool("require-schema", false, "require this build's schema_version stamp on every record (fabric wire streams)")
 	trace := flag.Bool("trace", false, "validate a Chrome trace_event JSON document instead of sweep records")
 	metricsText := flag.Bool("metrics", false, "validate a Prometheus text-format scrape instead of sweep records")
 	flag.Parse()
@@ -102,6 +112,13 @@ func main() {
 			invalid++
 			fmt.Fprintf(os.Stderr, "sweeplint: record %d: %v\n", records, err)
 			continue
+		}
+		// The stamp check comes before the error check: fabric workers
+		// stamp error records too.
+		if *requireSchema && rec.SchemaVersion != exp.SchemaVersion {
+			invalid++
+			fmt.Fprintf(os.Stderr, "sweeplint: record %d (%s): schema_version %d, want %d (-require-schema)\n",
+				records, rec.Key(), rec.SchemaVersion, exp.SchemaVersion)
 		}
 		if rec.Error != "" {
 			failures++

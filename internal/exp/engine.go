@@ -298,6 +298,15 @@ func (e *Engine) Record(s Spec) Record {
 	return rec
 }
 
+// StreamStats is the failure accounting of one streamed spec list: how
+// many records were emitted and how many of them carried a run error.
+// dsmrun's sweep exit status and the fabric coordinator's merge both
+// report from it, so local and distributed sweeps fail identically.
+type StreamStats struct {
+	Records int
+	Failed  int
+}
+
 // Stream executes every spec across the worker pool and writes one
 // JSON-lines record per spec to w, in spec order, emitting each record
 // as soon as it and all its predecessors have finished. With
@@ -306,6 +315,16 @@ func (e *Engine) Record(s Spec) Record {
 // records (and are joined into the returned error); a write failure
 // aborts the stream, cancelling the runs not yet started.
 func (e *Engine) Stream(w io.Writer, specs []Spec) error {
+	_, err := e.StreamWith(w, specs, nil)
+	return err
+}
+
+// StreamWith is Stream with a range-execution hook: decorate, when
+// non-nil, is applied to each record immediately before encoding (the
+// fabric worker stamps SchemaVersion there), and the returned stats
+// count emitted and failed records. The hook must not change spec
+// identity fields — the record's bytes are the sweep's contract.
+func (e *Engine) StreamWith(w io.Writer, specs []Spec, decorate func(*Record)) (StreamStats, error) {
 	run := specs
 	if e.JoinSpeedup {
 		run = make([]Spec, 0, 2*len(specs))
@@ -323,20 +342,28 @@ func (e *Engine) Stream(w io.Writer, specs []Spec) error {
 		e.prefetch(run, &cancel)
 	}()
 	enc := json.NewEncoder(w)
+	var stats StreamStats
 	var errs []error
 	seenErr := map[string]bool{}
 	for _, s := range specs {
 		rec := e.Record(s) // blocks until this spec's result is final
-		if rec.Error != "" && !seenErr[s.Key()] {
-			seenErr[s.Key()] = true
-			errs = append(errs, errors.New(rec.Error))
+		if rec.Error != "" {
+			stats.Failed++
+			if !seenErr[s.Key()] {
+				seenErr[s.Key()] = true
+				errs = append(errs, errors.New(rec.Error))
+			}
+		}
+		if decorate != nil {
+			decorate(&rec)
 		}
 		if werr := enc.Encode(rec); werr != nil {
 			cancel.Store(true)
 			<-done
-			return werr
+			return stats, werr
 		}
+		stats.Records++
 	}
 	<-done
-	return errors.Join(errs...)
+	return stats, errors.Join(errs...)
 }

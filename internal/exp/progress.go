@@ -64,6 +64,18 @@ func UniqueRuns(specs []Spec, joinSpeedup bool) int {
 	return n
 }
 
+// AddTotal grows the expected-run count by n. A fabric worker learns
+// its workload one lease at a time, so its Progress starts at zero and
+// accumulates; safe for concurrent use.
+func (p *Progress) AddTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.Total += n
+	p.mu.Unlock()
+}
+
 // RunDone records one completed run. It matches the Engine.OnRunDone
 // signature and is safe for concurrent use; on a nil Progress it is a
 // no-op.

@@ -12,6 +12,14 @@ import (
 	"repro/internal/stats"
 )
 
+// SchemaVersion identifies this build's Record wire schema. Records
+// that cross a process boundary (the internal/fabric coordinator/worker
+// protocol) are stamped with it, and Validate rejects any other value:
+// a worker built before a schema change must not silently merge its
+// records into a newer coordinator's stream, or vice versa. Bump it
+// whenever a Record field is added, removed, or changes meaning.
+const SchemaVersion = 1
+
 // Record is one JSON-lines measurement: the spec that identifies the
 // run plus the timed-region observables. Field order is the wire
 // order; encoding/json renders structs deterministically (and sorts
@@ -20,6 +28,13 @@ import (
 // guarantee.
 type Record struct {
 	Spec
+
+	// SchemaVersion stamps records exchanged between fabric coordinator
+	// and workers; when set it must equal this build's SchemaVersion.
+	// Local sweep output leaves it zero (omitted), and the coordinator
+	// strips it before merging, so distributed output stays
+	// byte-identical to a single-process sweep.
+	SchemaVersion int `json:"schema_version,omitempty"`
 
 	// TimeNanos is the timed-region elapsed virtual time, exact.
 	TimeNanos int64 `json:"time_ns"`
@@ -165,6 +180,10 @@ func SeqSpecOf(s Spec) Spec {
 func (r Record) Validate() error {
 	if err := r.Spec.Validate(); err != nil {
 		return err
+	}
+	if r.SchemaVersion != 0 && r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("exp: record schema_version %d does not match this build's %d in record %s",
+			r.SchemaVersion, SchemaVersion, r.Key())
 	}
 	if r.Error != "" {
 		return nil

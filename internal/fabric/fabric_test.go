@@ -1,0 +1,341 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/proto"
+)
+
+// testGrid is the distributed-identity grid: two applications, DSM and
+// message-passing runtimes, both protocols, 1-2 processors at small
+// scale — small enough to run many fleet shapes, wide enough to cover
+// every record field family.
+func testGrid(t *testing.T) []exp.Spec {
+	t.Helper()
+	axes := exp.Axes{
+		Apps:      []string{"Jacobi", "MGS"},
+		Versions:  []core.Version{core.Tmk},
+		Procs:     []int{1, 2},
+		Protocols: []proto.Name{proto.HomelessLRC, proto.HomeLRC},
+	}
+	specs := axes.Specs(exp.Spec{Scale: core.SmallScale})
+	for i := range specs {
+		specs[i] = specs[i].Normalize()
+	}
+	return specs
+}
+
+// localBytes renders the single-process reference output for specs.
+func localBytes(t *testing.T, specs []exp.Spec, speedup, observe bool) []byte {
+	t.Helper()
+	e := exp.New()
+	e.Workers = 1
+	e.JoinSpeedup = speedup
+	e.Observe = observe
+	var buf bytes.Buffer
+	if _, err := e.StreamWith(&buf, specs, nil); err != nil {
+		t.Fatalf("local reference sweep: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// startWorkers launches n independent fabric workers (each with a cold
+// engine) on httptest servers and returns their base URLs.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		w := NewWorker(nil)
+		w.Workers = 2
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.URL
+	}
+	return addrs
+}
+
+// TestMergeByteIdentical is the subsystem's central guarantee: the
+// coordinator's merged output is byte-identical to a single-process
+// sweep at 1, 2 and 4 workers, with small leases so every fleet shape
+// exercises reassignment-free multi-range scheduling.
+func TestMergeByteIdentical(t *testing.T) {
+	specs := testGrid(t)
+	want := localBytes(t, specs, false, false)
+	for _, workers := range []int{1, 2, 4} {
+		c := &Coordinator{
+			Workers:   startWorkers(t, workers),
+			RangeSize: 3, // ragged tail: 8 specs -> 3+3+2
+			Logf:      t.Logf,
+		}
+		var got bytes.Buffer
+		stats, err := c.Run(&got, specs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if stats.Records != len(specs) || stats.Failed != 0 {
+			t.Errorf("workers=%d: stats = %+v, want %d records, 0 failed", workers, stats, len(specs))
+		}
+		if !bytes.Equal(want, got.Bytes()) {
+			t.Errorf("workers=%d: merged output differs from local sweep:\nlocal:\n%s\nfabric:\n%s",
+				workers, want, got.Bytes())
+		}
+	}
+}
+
+// TestMergeByteIdenticalWithJoins re-checks identity with the
+// seq-baseline join and observability on — the full record schema
+// crossing the wire (speedup, bd_* attribution fields).
+func TestMergeByteIdenticalWithJoins(t *testing.T) {
+	specs := testGrid(t)
+	want := localBytes(t, specs, true, true)
+	c := &Coordinator{
+		Workers:   startWorkers(t, 2),
+		RangeSize: 2,
+		Speedup:   true,
+		Observe:   true,
+		Logf:      t.Logf,
+	}
+	var got bytes.Buffer
+	if _, err := c.Run(&got, specs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got.Bytes()) {
+		t.Errorf("merged output with joins differs from local sweep:\nlocal:\n%s\nfabric:\n%s", want, got.Bytes())
+	}
+}
+
+// TestNoWorkersDegradesToLocal pins the graceful-degradation path: an
+// empty (and an unreachable) fleet runs the sweep locally with
+// identical bytes and the same failure accounting.
+func TestNoWorkersDegradesToLocal(t *testing.T) {
+	specs := testGrid(t)
+	want := localBytes(t, specs, false, false)
+	for _, fleet := range [][]string{nil, {"127.0.0.1:1"}} {
+		c := &Coordinator{Workers: fleet, Logf: t.Logf}
+		var got bytes.Buffer
+		stats, err := c.Run(&got, specs)
+		if err != nil {
+			t.Fatalf("fleet=%v: %v", fleet, err)
+		}
+		if !bytes.Equal(want, got.Bytes()) {
+			t.Errorf("fleet=%v: local-degraded output differs from reference", fleet)
+		}
+		if stats.Records != len(specs) {
+			t.Errorf("fleet=%v: stats = %+v", fleet, stats)
+		}
+	}
+}
+
+// TestRunFailureAccounting: run failures travel as error records and
+// surface in the coordinator's stats and joined error exactly like a
+// local sweep's (the dsmrun exit-nonzero contract).
+func TestRunFailureAccounting(t *testing.T) {
+	specs := []exp.Spec{
+		{App: "Jacobi", Version: core.Tmk, Procs: 2, Scale: core.SmallScale, Protocol: "lrc"},
+		{App: "Jacobi", Version: "bogus", Procs: 2, Scale: core.SmallScale, Protocol: "lrc"},
+	}
+	ref := exp.New()
+	ref.Workers = 1
+	var want bytes.Buffer
+	refStats, refErr := ref.StreamWith(&want, specs, nil)
+	if refErr == nil || refStats.Failed != 1 {
+		t.Fatalf("local reference: stats %+v, err %v — want 1 failure", refStats, refErr)
+	}
+	c := &Coordinator{Workers: startWorkers(t, 2), RangeSize: 1, Logf: t.Logf}
+	var got bytes.Buffer
+	stats, err := c.Run(&got, specs)
+	if err == nil || !strings.Contains(err.Error(), "unsupported version") {
+		t.Errorf("want joined run failure, got %v", err)
+	}
+	if stats.Failed != 1 || stats.Records != 2 {
+		t.Errorf("stats = %+v, want 2 records / 1 failed", stats)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Errorf("error records not byte-identical:\nlocal:\n%s\nfabric:\n%s", want.Bytes(), got.Bytes())
+	}
+}
+
+// TestSchemaMismatchRejectedAtHandshake: a worker advertising another
+// build's schema version is never registered; with no other worker the
+// sweep degrades to local execution, still byte-identical.
+func TestSchemaMismatchRejectedAtHandshake(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == HealthPath {
+			json.NewEncoder(w).Encode(Hello{OK: true, SchemaVersion: exp.SchemaVersion + 1})
+			return
+		}
+		t.Errorf("mismatched worker received %s — lease must not be granted", r.URL.Path)
+		http.Error(w, "unexpected", http.StatusTeapot)
+	}))
+	defer srv.Close()
+
+	specs := testGrid(t)[:4]
+	want := localBytes(t, specs, false, false)
+	var rejected bool
+	c := &Coordinator{Workers: []string{srv.URL}, Logf: func(format string, args ...any) {
+		if strings.Contains(format, "rejected") {
+			rejected = true
+		}
+		t.Logf(format, args...)
+	}}
+	var got bytes.Buffer
+	if _, err := c.Run(&got, specs); err != nil {
+		t.Fatal(err)
+	}
+	if !rejected {
+		t.Error("schema-mismatched worker was not rejected")
+	}
+	if !bytes.Equal(want, got.Bytes()) {
+		t.Error("degraded output differs from local sweep")
+	}
+}
+
+// TestWireRecordsCarrySchemaVersion hits a worker's /run directly and
+// checks every streamed record is stamped with this build's schema
+// version and validates (the sweeplint -require-schema contract), while
+// the coordinator-merged stream carries no stamp at all.
+func TestWireRecordsCarrySchemaVersion(t *testing.T) {
+	addr := startWorkers(t, 1)[0]
+	specs := testGrid(t)[:3]
+	keys := make([]string, len(specs))
+	for i, s := range specs {
+		keys[i] = s.Key()
+	}
+	body, _ := json.Marshal(RunRequest{SchemaVersion: exp.SchemaVersion, Lease: "t0", Keys: keys})
+	resp, err := http.Post(addr+RunPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %s", resp.Status)
+	}
+	var wire bytes.Buffer
+	if _, err := wire.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(wire.Bytes()), []byte("\n"))
+	if len(lines) != len(specs) {
+		t.Fatalf("worker streamed %d records for %d keys", len(lines), len(specs))
+	}
+	for i, line := range lines {
+		rec, err := exp.ValidateLine(line)
+		if err != nil {
+			t.Fatalf("wire record %d: %v", i, err)
+		}
+		if rec.SchemaVersion != exp.SchemaVersion {
+			t.Errorf("wire record %d: schema_version %d, want %d", i, rec.SchemaVersion, exp.SchemaVersion)
+		}
+		if rec.Spec != specs[i] {
+			t.Errorf("wire record %d out of order: %s", i, rec.Key())
+		}
+	}
+
+	// A mismatched RunRequest is refused outright.
+	body, _ = json.Marshal(RunRequest{SchemaVersion: exp.SchemaVersion + 1, Lease: "t1", Keys: keys})
+	resp2, err := http.Post(addr+RunPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched run request got status %s, want 400", resp2.Status)
+	}
+}
+
+// TestFleetTelemetry checks the metrics registry and /progress
+// snapshot carry the fleet accounting after a distributed run.
+func TestFleetTelemetry(t *testing.T) {
+	specs := testGrid(t)
+	reg := metrics.NewRegistry()
+	c := &Coordinator{Workers: startWorkers(t, 2), RangeSize: 2, Metrics: reg, Logf: t.Logf}
+	var got bytes.Buffer
+	if _, err := c.Run(&got, specs); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if snap.RecordsDone != int64(len(specs)) || snap.RecordsTotal != int64(len(specs)) {
+		t.Errorf("snapshot records %d/%d, want %d/%d", snap.RecordsDone, snap.RecordsTotal, len(specs), len(specs))
+	}
+	if snap.RangesDone != snap.RangesTotal || snap.RangesTotal != 4 {
+		t.Errorf("snapshot ranges %d/%d, want 4/4", snap.RangesDone, snap.RangesTotal)
+	}
+	if len(snap.Workers) != 2 {
+		t.Fatalf("snapshot has %d workers, want 2", len(snap.Workers))
+	}
+	var leased int64
+	for _, ws := range snap.Workers {
+		leased += ws.Leases
+		if ws.Retired {
+			t.Errorf("healthy worker %s retired", ws.Addr)
+		}
+	}
+	if leased < 4 {
+		t.Errorf("fleet granted %d leases, want >= 4", leased)
+	}
+	var text bytes.Buffer
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := metrics.ValidateText(bytes.NewReader(text.Bytes())); err != nil {
+		t.Errorf("fleet metrics scrape invalid: %v\n%s", err, text.String())
+	}
+	for _, want := range []string{mRecordsMerged, mLeasesGranted, mWorkersLive} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("scrape missing family %s", want)
+		}
+	}
+	// The snapshot serves as JSON.
+	rr := httptest.NewRecorder()
+	c.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/progress", nil))
+	var decoded FleetSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("progress JSON: %v", err)
+	}
+	if decoded.RecordsDone != int64(len(specs)) {
+		t.Errorf("progress records_done = %d", decoded.RecordsDone)
+	}
+}
+
+// TestLargeGridByteIdentical runs a wider grid (every version both
+// test apps support, 1-4 procs, both protocols) through a 4-worker
+// fleet — the full-harness-grid acceptance check.
+func TestLargeGridByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large grid in -short mode")
+	}
+	var specs []exp.Spec
+	for _, a := range exp.Apps() {
+		name := a.Name()
+		if name != "Jacobi" && name != "MGS" && name != "RB-SOR" {
+			continue
+		}
+		for _, v := range a.Versions() {
+			for _, procs := range []int{1, 2, 4} {
+				for _, p := range []proto.Name{proto.HomelessLRC, proto.HomeLRC} {
+					s := exp.Spec{App: name, Version: v, Procs: procs, Scale: core.SmallScale, Protocol: p}
+					specs = append(specs, s.Normalize())
+				}
+			}
+		}
+	}
+	want := localBytes(t, specs, false, false)
+	c := &Coordinator{Workers: startWorkers(t, 4), RangeSize: 5, Logf: t.Logf,
+		LeaseTimeout: 5 * time.Minute}
+	var got bytes.Buffer
+	if _, err := c.Run(&got, specs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got.Bytes()) {
+		t.Error("large-grid merged output differs from local sweep")
+	}
+}

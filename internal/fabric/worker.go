@@ -1,0 +1,238 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exp"
+	"repro/internal/metrics"
+)
+
+// Worker executes leased spec ranges through exp engines and streams
+// stamped records back. One Worker serves any number of concurrent
+// leases: ranges run through a shared engine per (speedup, observe)
+// option combination, so the spec-keyed single-flight cache keeps
+// duplicate and overlapping leases cheap.
+type Worker struct {
+	// Workers bounds each engine's host worker pool; 0 means all cores.
+	Workers int
+	// Metrics, when non-nil, carries the worker's fabric counters and
+	// the first engine's host telemetry.
+	Metrics *metrics.Registry
+	// Progress aggregates lease workloads into the worker's /progress
+	// view (totals grow lease by lease; ETA is informational).
+	Progress *exp.Progress
+	// Logf, when non-nil, receives one line per lease served/rejected.
+	Logf func(format string, args ...any)
+
+	// KillAfterRecords > 0 injects a fault: after streaming that many
+	// records (across all leases), the worker invokes Kill. The default
+	// Kill marks the worker dead (every later request answers 503) and
+	// aborts the in-flight connection mid-stream — the client sees a
+	// truncated range, exactly like a crashed process. cmd/sweepd
+	// replaces Kill with os.Exit for whole-process kills in CI.
+	KillAfterRecords int64
+	Kill             func()
+
+	mu      sync.Mutex
+	engines map[engineKey]*exp.Engine
+
+	streamed atomic.Int64
+	dead     atomic.Bool
+
+	leasesActive  *metrics.Gauge
+	leasesServed  *metrics.Counter
+	leasesDenied  *metrics.Counter
+	recordsOut    *metrics.Counter
+	recordsFailed *metrics.Counter
+}
+
+// engineKey identifies one engine option combination. Engine options
+// are fields, not per-call parameters, so concurrent leases with
+// different options get distinct engines (and distinct caches).
+type engineKey struct {
+	speedup bool
+	observe bool
+}
+
+// Worker-side metric family names.
+const (
+	mWorkerLeasesActive = "dsm_fabric_worker_leases_active"
+	mWorkerLeases       = "dsm_fabric_worker_leases_total"
+	mWorkerDenied       = "dsm_fabric_worker_leases_denied_total"
+	mWorkerRecords      = "dsm_fabric_worker_records_total"
+	mWorkerFailed       = "dsm_fabric_worker_record_failures_total"
+)
+
+// NewWorker builds a worker registering its fabric counters on r (nil
+// disables telemetry; the handles no-op).
+func NewWorker(r *metrics.Registry) *Worker {
+	w := &Worker{
+		Metrics:  r,
+		Progress: exp.NewProgress(0, nil, nil),
+		engines:  map[engineKey]*exp.Engine{},
+	}
+	w.leasesActive = r.Gauge(mWorkerLeasesActive, "Fabric leases streaming right now.")
+	w.leasesServed = r.Counter(mWorkerLeases, "Fabric leases accepted and streamed.")
+	w.leasesDenied = r.Counter(mWorkerDenied, "Fabric leases rejected (schema mismatch, bad keys, dead worker).")
+	w.recordsOut = r.Counter(mWorkerRecords, "Records streamed back to coordinators.")
+	w.recordsFailed = r.Counter(mWorkerFailed, "Streamed records that carried a run failure.")
+	return w
+}
+
+// engine resolves the engine for one option combination, creating it
+// on first use. The first engine created attaches the worker's
+// registry (engine host telemetry is one-registry-one-engine, so later
+// combinations run without it).
+func (w *Worker) engine(k engineKey) *exp.Engine {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e, ok := w.engines[k]; ok {
+		return e
+	}
+	e := exp.New()
+	e.Workers = w.Workers
+	e.JoinSpeedup = k.speedup
+	e.Observe = k.observe
+	if len(w.engines) == 0 {
+		e.Metrics = w.Metrics
+	}
+	e.OnRunDone = w.Progress.RunDone
+	w.engines[k] = e
+	return e
+}
+
+// Routes returns the worker's endpoint handlers keyed by path, for
+// mounting next to /metrics and /debug/pprof/* via metrics.NewMux.
+func (w *Worker) Routes() map[string]http.Handler {
+	return map[string]http.Handler{
+		HealthPath:  http.HandlerFunc(w.handleHealth),
+		RunPath:     http.HandlerFunc(w.handleRun),
+		"/progress": w.Progress,
+	}
+}
+
+// Handler builds a standalone mux over Routes (tests and embedded
+// workers; daemons use metrics.NewMux to add /metrics and pprof).
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for path, h := range w.Routes() {
+		mux.Handle(path, h)
+	}
+	return mux
+}
+
+// handleHealth serves the schema handshake. A dead (killed) worker
+// answers 503 so coordinators stop considering it.
+func (w *Worker) handleHealth(rw http.ResponseWriter, _ *http.Request) {
+	if w.dead.Load() {
+		http.Error(rw, "fabric: worker killed", http.StatusServiceUnavailable)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(Hello{OK: true, SchemaVersion: exp.SchemaVersion}) //nolint:errcheck // client went away
+}
+
+// handleRun leases one range: decode, validate, execute, stream.
+func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
+	if w.dead.Load() {
+		w.leasesDenied.Inc()
+		http.Error(rw, "fabric: worker killed", http.StatusServiceUnavailable)
+		return
+	}
+	var rr RunRequest
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rr); err != nil {
+		w.leasesDenied.Inc()
+		http.Error(rw, fmt.Sprintf("fabric: malformed run request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if rr.SchemaVersion != exp.SchemaVersion {
+		w.leasesDenied.Inc()
+		w.logf("fabric worker: lease %s rejected: coordinator schema_version %d, this build %d",
+			rr.Lease, rr.SchemaVersion, exp.SchemaVersion)
+		http.Error(rw, fmt.Sprintf("fabric: schema_version %d does not match this build's %d",
+			rr.SchemaVersion, exp.SchemaVersion), http.StatusBadRequest)
+		return
+	}
+	if len(rr.Keys) == 0 {
+		w.leasesDenied.Inc()
+		http.Error(rw, "fabric: empty lease", http.StatusBadRequest)
+		return
+	}
+	specs := make([]exp.Spec, len(rr.Keys))
+	for i, key := range rr.Keys {
+		s, err := exp.ParseKey(key)
+		if err == nil {
+			err = s.Validate()
+		}
+		if err != nil {
+			w.leasesDenied.Inc()
+			http.Error(rw, fmt.Sprintf("fabric: bad spec key %q: %v", key, err), http.StatusBadRequest)
+			return
+		}
+		specs[i] = s
+	}
+
+	w.leasesActive.Inc()
+	defer w.leasesActive.Dec()
+	w.leasesServed.Inc()
+	w.Progress.AddTotal(exp.UniqueRuns(specs, rr.Speedup))
+	w.logf("fabric worker: lease %s: %d specs (%s .. %s)", rr.Lease, len(specs), rr.Keys[0], rr.Keys[len(rr.Keys)-1])
+
+	eng := w.engine(engineKey{speedup: rr.Speedup, observe: rr.Observe})
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	out := &flushWriter{w: rw}
+	stats, err := eng.StreamWith(out, specs, func(rec *exp.Record) {
+		rec.SchemaVersion = exp.SchemaVersion
+		if rec.Error != "" {
+			w.recordsFailed.Inc()
+		}
+		w.recordsOut.Inc()
+		if n := w.KillAfterRecords; n > 0 && w.streamed.Add(1) >= n {
+			w.die()
+		}
+	})
+	if err != nil {
+		// Run failures already travelled as error records; a write error
+		// means the coordinator hung up — nothing left to tell it.
+		w.logf("fabric worker: lease %s: %d/%d records failed: %v", rr.Lease, stats.Failed, stats.Records, err)
+	}
+}
+
+// die executes the injected kill: by default the worker goes dead
+// (503s from now on) and the current stream is aborted mid-record.
+func (w *Worker) die() {
+	w.dead.Store(true)
+	w.logf("fabric worker: injected kill after %d records", w.streamed.Load())
+	if w.Kill != nil {
+		w.Kill()
+		return
+	}
+	panic(http.ErrAbortHandler)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// flushWriter flushes the HTTP response after every write, so the
+// coordinator sees each record as soon as it is final (liveness, and
+// partial streams on crash rather than an empty buffered response).
+type flushWriter struct {
+	w http.ResponseWriter
+}
+
+func (f *flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}

@@ -35,6 +35,15 @@
 // differs from the coordinator's build — wrong binary, wrong
 // calibration, broken hardware — drifts the trajectory and fails the
 // gate.
+//
+// -store DIR backs the gate's engine with the persistent result store
+// (see dsmrun -store): golden runs already on disk are compared
+// without re-simulating, so a warm `benchtraj -gate` costs disk reads.
+// The records served are the exact bytes a cold run produces — the
+// gate's comparisons see no difference — except host_ns, which is 0
+// for served runs (it is informational and never compared). The store
+// reads as empty under a build with a different record schema version,
+// so a schema change always re-executes.
 package main
 
 import (
@@ -52,6 +61,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fabric"
 	"repro/internal/proto"
+	"repro/internal/store"
 )
 
 // goldenSpecs is the pinned trajectory grid: small-scale runs covering
@@ -120,16 +130,27 @@ func main() {
 	tol := flag.Float64("tol", 0, "relative virtual-time tolerance for -gate/-diff (0: exact)")
 	workers := flag.Int("workers", 0, "worker pool size (0: all host cores)")
 	fabricAddrs := flag.String("fabric", "", "comma-separated fabric worker addresses: run the -gate golden set through the distributed fabric")
+	storeDir := flag.String("store", "", "persistent result store directory: golden runs already on disk are served without executing")
+	storeMax := flag.Int64("store-max-bytes", 0, "evict the -store directory down to this many bytes, LRU first (0: unbounded)")
 	flag.Parse()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, exp.StoreOptions(*storeMax)); err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+	}
 
 	diffArgs := flag.Args()
 	switch {
 	case *out != "" && *gate == "" && len(diffArgs) == 0:
-		if err := build(*out, *workers); err != nil {
+		if err := build(*out, *workers, st); err != nil {
 			fatal(err)
 		}
 	case *gate != "" && *out == "" && len(diffArgs) == 0:
-		drift, err := gateRun(*gate, *tol, *workers, *fabricAddrs)
+		drift, err := gateRun(*gate, *tol, *workers, *fabricAddrs, st)
 		if err != nil {
 			fatal(err)
 		}
@@ -154,12 +175,14 @@ func main() {
 	}
 }
 
-// engine builds the observing golden-run engine.
-func engine(workers int) *exp.Engine {
+// engine builds the observing golden-run engine, backed by the
+// persistent store when one was opened.
+func engine(workers int, st *store.Store) *exp.Engine {
 	e := exp.New()
 	e.Workers = workers
 	e.JoinSpeedup = true
 	e.Observe = true
+	e.Store = st
 	return e
 }
 
@@ -167,12 +190,12 @@ func engine(workers int) *exp.Engine {
 // the informational host_ns to every record (the one writer that sets
 // it; the engine's Stream path never does, keeping sweep output
 // byte-identical across hosts).
-func build(path string, workers int) error {
+func build(path string, workers int, st *store.Store) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	e := engine(workers)
+	e := engine(workers, st)
 	specs := goldenSpecs()
 	e.Sweep(specs) //nolint:errcheck // failures surface as error records below
 	enc := json.NewEncoder(f)
@@ -226,13 +249,13 @@ func load(path string) (map[string]exp.Record, error) {
 // gateRun re-runs the golden set — locally, or across the fabric when
 // worker addresses are given — and compares it to the committed
 // trajectory, returning the number of drifted runs.
-func gateRun(path string, tol float64, workers int, fabricAddrs string) (int, error) {
+func gateRun(path string, tol float64, workers int, fabricAddrs string, st *store.Store) (int, error) {
 	want, err := load(path)
 	if err != nil {
 		return 0, err
 	}
 	specs := goldenSpecs()
-	fresh, err := freshRecords(specs, workers, fabricAddrs)
+	fresh, err := freshRecords(specs, workers, fabricAddrs, st)
 	if err != nil {
 		return 0, err
 	}
@@ -260,9 +283,9 @@ func gateRun(path string, tol float64, workers int, fabricAddrs string) (int, er
 // merged stream is byte-compatible with a local sweep, so the records
 // parse identically; run failures travel as error records and drift
 // the gate rather than aborting it.
-func freshRecords(specs []exp.Spec, workers int, fabricAddrs string) ([]exp.Record, error) {
+func freshRecords(specs []exp.Spec, workers int, fabricAddrs string, st *store.Store) ([]exp.Record, error) {
 	if fabricAddrs == "" {
-		e := engine(workers)
+		e := engine(workers, st)
 		recs := make([]exp.Record, len(specs))
 		for i, s := range specs {
 			recs[i] = e.Record(s)
@@ -273,7 +296,7 @@ func freshRecords(specs []exp.Spec, workers int, fabricAddrs string) ([]exp.Reco
 		Workers: strings.Split(fabricAddrs, ","),
 		Speedup: true,
 		Observe: true,
-		Engine:  engine(workers),
+		Engine:  engine(workers, st),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "benchtraj: "+format+"\n", args...)
 		},

@@ -59,6 +59,26 @@
 // blocking and mutex contention profiles; the corresponding runtime
 // sampling rates are enabled only when the flags are given.
 //
+// Persistent result store:
+//
+//	dsmrun -scale small -sweep "procs=1,2,4,8" -store results/ [-store-max-bytes 1073741824]
+//
+// -store DIR opens (creating if needed) a disk-backed record store
+// shared across runs, processes and the sweep fabric: sweep specs whose
+// exact record is already on disk are served without executing — the
+// output bytes are identical to a cold run — and every executed record
+// is written back. Entries are keyed by the spec key plus the record
+// schema version, so a store written by a build with a different record
+// shape reads as empty rather than serving stale bytes; torn or
+// corrupted entries are detected (per-frame CRC), skipped and
+// transparently recomputed. Concurrent access is safe within a process
+// and across processes (advisory file lock); fabric workers pass the
+// same flag to consult their local store before executing a leased
+// range. -store-max-bytes bounds the directory, evicting
+// least-recently-used records first (0: unbounded). With -metrics-addr
+// or -metrics-dump the dsm_store_* families report hits, misses, puts,
+// evictions, corrupt frames and resident bytes.
+//
 // Host telemetry:
 //
 //	dsmrun -scale mid -sweep "app=Jacobi procs=1,2,4,8" -metrics-addr :9090 -progress
@@ -151,6 +171,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 func main() {
@@ -176,6 +197,8 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a host heap profile of the simulator to this file")
 	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this file")
+	storeDir := flag.String("store", "", "persistent result store directory: records are served from disk across runs and processes (and written back)")
+	storeMax := flag.Int64("store-max-bytes", 0, "evict the -store directory down to this many bytes, LRU first (0: unbounded)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/pprof/* and /progress on this address (e.g. :9090)")
 	progress := flag.Bool("progress", false, "print a throttled sweep progress line to stderr")
 	metricsDump := flag.String("metrics-dump", "", "write a final JSON snapshot of the metrics registry to this file")
@@ -219,8 +242,21 @@ func main() {
 		defer writeProfile("mutex", *mutexprofile)
 	}
 
+	// The persistent result store is shared by every mode that executes
+	// runs: sweeps serve records straight from it, single runs and
+	// fabric workers warm it. Every Put is synced frame by frame, so no
+	// explicit flush is needed on the fatal-exit paths.
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, exp.StoreOptions(*storeMax)); err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+	}
+
 	if *workerListen != "" {
-		runWorker(*workerListen, *workers)
+		runWorker(*workerListen, *workers, st)
 		return
 	}
 	if *genSpec != "" || *genFile != "" {
@@ -275,6 +311,7 @@ func main() {
 	eng.Workers = *workers
 	eng.JoinSpeedup = *speedup
 	eng.Observe = *trace != "" || *breakdown
+	eng.Store = st
 	if *metricsAddr != "" || *metricsDump != "" {
 		eng.Metrics = metrics.NewRegistry()
 	}
@@ -355,6 +392,7 @@ func main() {
 		} else {
 			prog := exp.NewProgress(exp.UniqueRuns(specs, *speedup), progOut, eng)
 			eng.OnRunDone = prog.RunDone
+			eng.OnStoreHit = prog.StoreHit
 			serveTelemetry(prog)
 			stats, err = eng.StreamWith(os.Stdout, specs, nil)
 		}
@@ -452,10 +490,11 @@ func printJSON(s exp.Spec, res, seq core.Result, haveSeq bool) {
 // killed, with the full telemetry surface (/metrics, /debug/pprof/*)
 // next to the fabric endpoints. cmd/sweepd is the same daemon plus
 // CI's fault injection.
-func runWorker(listen string, workers int) {
+func runWorker(listen string, workers int, st *store.Store) {
 	reg := metrics.NewRegistry()
 	w := fabric.NewWorker(reg)
 	w.Workers = workers
+	w.Store = st
 	w.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "dsmrun: "+format+"\n", args...)
 	}

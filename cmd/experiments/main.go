@@ -53,6 +53,15 @@
 // the experiments run, and -metrics-dump writes a final JSON snapshot
 // of the registry; see cmd/dsmrun for the metric families. Telemetry
 // never changes experiment output.
+//
+// -store DIR backs the shared engine with the persistent result store
+// (see dsmrun -store): grid points already on disk render without
+// re-simulating, and fresh runs are written back, so re-rendering
+// tables — or running further experiments over the same grid — costs
+// only the disk reads. Tables are byte-identical served or executed;
+// the store reads as empty under a build whose record schema version
+// differs. -store-max-bytes bounds the directory (LRU eviction; 0:
+// unbounded).
 package main
 
 import (
@@ -62,9 +71,11 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/store"
 )
 
 func main() {
@@ -75,6 +86,8 @@ func main() {
 	contention := flag.Int("contention", 0, "network contention: 0 off, -1 serial NICs only, N>0 serial NICs + N-way backplane")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: all host cores)")
 	only := flag.String("only", "", "comma-separated experiments (table1,figure1,table2,figure2,table3,handopt,interface,protocols,compiler,contention,migration,gendiff,breakdown)")
+	storeDir := flag.String("store", "", "persistent result store directory: table records are served from disk across runs (and written back)")
+	storeMax := flag.Int64("store-max-bytes", 0, "evict the -store directory down to this many bytes, LRU first (0: unbounded)")
 	metricsAddr := flag.String("metrics-addr", "", "serve host-side telemetry (/metrics, /debug/pprof/*) on this address while the experiments run")
 	metricsDump := flag.String("metrics-dump", "", "write a final JSON snapshot of the metrics registry to this file")
 	flag.Parse()
@@ -102,6 +115,15 @@ func main() {
 	r.Costs = r.Costs.WithContention(*contention)
 	if *metricsAddr != "" || *metricsDump != "" {
 		r.Metrics = metrics.NewRegistry()
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, exp.StoreOptions(*storeMax))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		r.Store = st
 	}
 	if *metricsAddr != "" {
 		_, addr, err := metrics.StartServer(*metricsAddr, metrics.NewMux(r.Metrics, nil))

@@ -3,7 +3,7 @@
 // them through the internal/exp engine (spec-keyed result cache
 // intact) and streaming back stamped JSON-lines records.
 //
-//	sweepd -listen :9190 [-workers N]
+//	sweepd -listen :9190 [-workers N] [-store DIR [-store-max-bytes N]]
 //
 // Endpoints:
 //
@@ -20,9 +20,21 @@
 //	                  counters plus the first engine's host telemetry.
 //	/debug/pprof/*  — live profiling of the worker process.
 //
-// -workers bounds the engine's host worker pool (0: all cores). The
-// daemon runs until killed; coherent shutdown is the coordinator's
-// problem — its lease table reassigns anything a dead worker held.
+// -workers bounds the engine's host worker pool (0: all cores).
+//
+// -store DIR backs the worker with the persistent result store (see
+// dsmrun -store): leased specs whose record is already on disk stream
+// back without executing, and executed records are written back, so a
+// warm worker answers a repeated sweep from disk. -store-max-bytes
+// bounds the directory (LRU eviction; 0: unbounded).
+//
+// Shutdown: on SIGINT or SIGTERM the daemon drains — new leases (and
+// health checks) answer 503 so the coordinator reassigns around it,
+// the in-flight lease streams to completion, and the store is flushed
+// and closed — then exits 0. A second signal, or a drain exceeding
+// -drain-timeout, exits immediately (the store is durable frame by
+// frame, so at worst the interrupted lease's tail is recomputed next
+// time).
 //
 // Fault injection (CI only):
 //
@@ -37,14 +49,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"repro/internal/exp"
 	"repro/internal/fabric"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 func main() {
 	listen := flag.String("listen", ":9190", "address to serve the worker endpoints on")
 	workers := flag.Int("workers", 0, "engine worker pool size (0: all host cores)")
+	storeDir := flag.String("store", "", "persistent result store directory: serve leased specs from disk (and write executed records back)")
+	storeMax := flag.Int64("store-max-bytes", 0, "evict the -store directory down to this many bytes, LRU first (0: unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound on finishing the in-flight lease")
 	killAfter := flag.Int64("kill-after", 0, "fault injection: exit(3) after streaming this many records (0: never)")
 	flag.Parse()
 
@@ -53,6 +73,14 @@ func main() {
 	w.Workers = *workers
 	w.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "sweepd: "+format+"\n", args...)
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, exp.StoreOptions(*storeMax))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			os.Exit(1)
+		}
+		w.Store = st // Drain closes it
 	}
 	if *killAfter > 0 {
 		w.KillAfterRecords = *killAfter
@@ -68,5 +96,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "sweepd: serving /healthz, /run, /progress and /metrics on http://%s\n", addr)
-	select {} // serve until killed
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "sweepd: %s: draining (in-flight lease finishes; new leases answer 503)\n", s)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "sweepd: second %s: exiting immediately\n", s)
+		os.Exit(1)
+	}()
+	if err := w.Drain(*drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "sweepd: drained; store flushed and closed")
 }

@@ -37,6 +37,21 @@
 // on every non-metadata event and a non-negative dur on complete
 // events. CI's trace smoke step pipes a 4-node run's trace through it.
 //
+// Store mode:
+//
+//	sweeplint -store results/
+//
+// -store DIR audits a persistent result store (the directory dsmrun,
+// sweepd, experiments and benchtraj take as -store) instead of stdin:
+// every live entry's frame CRC is re-verified, its value re-validated
+// against the record schema (no wire stamp, no host time, no error, no
+// join fields — the exact invariants the engine enforces before
+// serving), and its key checked against the record's spec. Dead bytes
+// from corrupt or superseded frames and schema-mismatched entries are
+// reported; any corrupt frame or invalid value exits 1. A store that
+// healed itself (corruption detected, entry recomputed and compacted
+// away) lints clean.
+//
 // Metrics mode:
 //
 //	curl -s http://localhost:9090/metrics | sweeplint -metrics
@@ -55,11 +70,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 func main() {
@@ -68,7 +85,16 @@ func main() {
 	requireSchema := flag.Bool("require-schema", false, "require this build's schema_version stamp on every record (fabric wire streams)")
 	trace := flag.Bool("trace", false, "validate a Chrome trace_event JSON document instead of sweep records")
 	metricsText := flag.Bool("metrics", false, "validate a Prometheus text-format scrape instead of sweep records")
+	storeDir := flag.String("store", "", "audit this persistent result store directory instead of reading stdin")
 	flag.Parse()
+
+	if *storeDir != "" {
+		if err := lintStore(*storeDir, *expected); err != nil {
+			fmt.Fprintf(os.Stderr, "sweeplint: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *metricsText {
 		samples, err := metrics.ValidateText(os.Stdin)
@@ -142,4 +168,56 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweeplint: got %d records, want %d\n", records, *expected)
 		os.Exit(1)
 	}
+}
+
+// lintStore audits a persistent result store: frame CRCs, record
+// schema, the serve-side invariants, and key/record agreement.
+func lintStore(dir string, expected int) error {
+	st, err := store.Open(dir, exp.StoreOptions(0))
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	rep, err := st.Verify(func(key string, value []byte) error {
+		err := checkStoredRecord(key, value)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweeplint: store entry %q: %v\n", key, err)
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweeplint: store %s: %d records, %d bytes, %d corrupt frames, %d schema-mismatched, %d invalid values\n",
+		dir, rep.Entries, rep.Bytes, rep.CorruptFrames, rep.SchemaSkips, rep.BadValues)
+	if rep.CorruptFrames > 0 || rep.BadValues > 0 {
+		return fmt.Errorf("store has %d corrupt frames and %d invalid values", rep.CorruptFrames, rep.BadValues)
+	}
+	if expected >= 0 && rep.Entries != expected {
+		return fmt.Errorf("got %d records, want %d", rep.Entries, expected)
+	}
+	return nil
+}
+
+// checkStoredRecord enforces what the engine guarantees before serving
+// a stored entry: a strictly-valid record carrying no wire stamp, host
+// time, error, or baseline join, under the key its spec derives.
+func checkStoredRecord(key string, value []byte) error {
+	rec, err := exp.ValidateLine(value)
+	if err != nil {
+		return err
+	}
+	switch {
+	case rec.SchemaVersion != 0:
+		return fmt.Errorf("carries wire stamp %d", rec.SchemaVersion)
+	case rec.Error != "":
+		return fmt.Errorf("carries a run error: %s", rec.Error)
+	case rec.HostNanos != 0:
+		return fmt.Errorf("carries host time")
+	case rec.SeqNanos != 0 || rec.SeqSeconds != 0 || rec.Speedup != 0:
+		return fmt.Errorf("carries a speedup join")
+	case rec.Key() != strings.TrimSuffix(key, exp.StoreObserveSuffix):
+		return fmt.Errorf("keyed for spec %s", rec.Key())
+	}
+	return nil
 }

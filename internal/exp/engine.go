@@ -15,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Engine executes specs against one machine calibration, fanning
@@ -63,8 +64,28 @@ type Engine struct {
 	// callback must be concurrency-safe. Progress.RunDone fits here.
 	OnRunDone func(s Spec, hostNS int64, err error)
 
+	// Store, when non-nil, is the persistent record cache underneath
+	// the in-memory result cache: the record paths (Record, Stream,
+	// StreamWith) serve a stored spec byte-identically without running
+	// the simulation, and every successful execution writes its record
+	// back. The Result paths (Run, Sweep) always execute — a Record
+	// does not carry enough to rebuild a core.Result — but still write
+	// back, so harness runs warm the store too. Set it before the first
+	// run and do not change it after.
+	Store *store.Store
+	// OnStoreHit, when non-nil, is called once per spec served from
+	// Store (record paths only). Called from worker goroutines; must be
+	// concurrency-safe. Progress.StoreHit fits here.
+	OnStoreHit func(s Spec)
+
 	mu    sync.Mutex
 	cache map[string]*entry
+
+	// recMu/recCache single-flight the record paths the way mu/cache
+	// single-flight Run: at most one store lookup (and, on a miss, one
+	// run + write-back) per key, everyone else waits for its record.
+	recMu    sync.Mutex
+	recCache map[string]*recEntry
 
 	host          hostStats
 	telemetryOnce sync.Once
@@ -77,6 +98,13 @@ type entry struct {
 	res    core.Result
 	err    error
 	hostNS int64
+}
+
+// recEntry is one cached (possibly in-flight) record. done closes when
+// rec is final.
+type recEntry struct {
+	done chan struct{}
+	rec  Record
 }
 
 // New builds an engine with the calibrated SP/2 model.
@@ -127,6 +155,7 @@ func (e *Engine) Run(s Spec) (core.Result, error) {
 		e.host.runsCompleted.Add(1)
 		e.observeRun(s, en.hostNS, allocDelta)
 		close(en.done)
+		e.writeBack(s, en.res, en.err)
 		if f := e.OnRunDone; f != nil {
 			f(s, en.hostNS, en.err)
 		}
@@ -162,6 +191,69 @@ func (e *Engine) HostRunNanos(s Spec) int64 {
 	default:
 		return 0
 	}
+}
+
+// writeBack persists one successful execution's record. Error records
+// are never stored: a deterministic failure re-executes (and fails
+// identically) on every run, so storing it buys nothing and a
+// transient failure must not become permanent. Store errors are
+// deliberately swallowed — the store is an accelerator, never a
+// correctness dependency; its counters record the failure.
+func (e *Engine) writeBack(s Spec, res core.Result, err error) {
+	st := e.Store
+	if st == nil || err != nil {
+		return
+	}
+	b, merr := json.Marshal(RecordOf(s, res, nil))
+	if merr != nil {
+		return
+	}
+	st.Put(e.storeKey(s), b) //nolint:errcheck // best-effort persistence
+}
+
+// recordFor returns the record for one spec, single-flighted per key:
+// served from the persistent store when possible, executed (and
+// written back) otherwise. It never joins the sequential baseline —
+// Record layers that on top.
+func (e *Engine) recordFor(s Spec) Record {
+	e.telemetryInit()
+	key := s.Key()
+	e.recMu.Lock()
+	if e.recCache == nil {
+		e.recCache = map[string]*recEntry{}
+	}
+	en, ok := e.recCache[key]
+	if !ok {
+		en = &recEntry{done: make(chan struct{})}
+		e.recCache[key] = en
+		e.recMu.Unlock()
+		en.rec = e.computeRecord(s)
+		close(en.done)
+		return en.rec
+	}
+	e.recMu.Unlock()
+	<-en.done
+	return en.rec
+}
+
+// computeRecord resolves one record: persistent store first, then a
+// real run. A stored entry that fails validation (corrupt, tampered,
+// schema drift) is treated as a miss and recomputed; the write-back
+// then heals the store.
+func (e *Engine) computeRecord(s Spec) Record {
+	if st := e.Store; st != nil {
+		if b, ok := st.Get(e.storeKey(s)); ok {
+			if rec, err := decodeStored(b, s); err == nil {
+				e.host.storeHits.Add(1)
+				if f := e.OnStoreHit; f != nil {
+					f(s)
+				}
+				return rec
+			}
+		}
+	}
+	res, err := e.Run(s)
+	return RecordOf(s, res, err)
 }
 
 // execute performs the simulation for one spec (no caching).
@@ -210,10 +302,15 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// prefetch warms the cache for every spec using the worker pool. It
-// returns when all specs have completed (or failed). A non-nil cancel
-// flag stops new runs from starting (in-flight runs still finish).
-func (e *Engine) prefetch(specs []Spec, cancel *atomic.Bool) {
+// prefetch warms the cache for every spec using the worker pool,
+// resolving each through run (nil means Engine.Run; the record paths
+// pass recordFor so store hits skip the simulation). It returns when
+// all specs have completed (or failed). A non-nil cancel flag stops
+// new runs from starting (in-flight runs still finish).
+func (e *Engine) prefetch(specs []Spec, cancel *atomic.Bool, run func(Spec)) {
+	if run == nil {
+		run = func(s Spec) { e.Run(s) } //nolint:errcheck // errors surface on the ordered pass
+	}
 	canceled := func() bool { return cancel != nil && cancel.Load() }
 	unique := make([]Spec, 0, len(specs))
 	seen := map[string]bool{}
@@ -233,7 +330,7 @@ func (e *Engine) prefetch(specs []Spec, cancel *atomic.Bool) {
 				return
 			}
 			busy := time.Now()
-			e.Run(s) //nolint:errcheck // errors surface on the ordered pass
+			run(s)
 			e.host.workerBusyNS.Add(time.Since(busy).Nanoseconds())
 		}
 		return
@@ -249,7 +346,7 @@ func (e *Engine) prefetch(specs []Spec, cancel *atomic.Bool) {
 				e.host.workerIdleNS.Add(time.Since(idle).Nanoseconds())
 				busy := time.Now()
 				if !canceled() { // else drain without running
-					e.Run(s) //nolint:errcheck // errors surface on the ordered pass
+					run(s)
 				}
 				e.host.workerBusyNS.Add(time.Since(busy).Nanoseconds())
 				idle = time.Now()
@@ -268,7 +365,7 @@ func (e *Engine) prefetch(specs []Spec, cancel *atomic.Bool) {
 // in spec order. The returned error joins every distinct run failure
 // (in spec order); results at failed positions are zero.
 func (e *Engine) Sweep(specs []Spec) ([]core.Result, error) {
-	e.prefetch(specs, nil)
+	e.prefetch(specs, nil, nil)
 	out := make([]core.Result, len(specs))
 	var errs []error
 	seenErr := map[string]bool{}
@@ -288,11 +385,10 @@ func (e *Engine) Sweep(specs []Spec) ([]core.Result, error) {
 // failure surfaces on the record's own error field only if the run
 // itself failed; an unjoinable baseline leaves the join fields absent.
 func (e *Engine) Record(s Spec) Record {
-	res, err := e.Run(s)
-	rec := RecordOf(s, res, err)
-	if e.JoinSpeedup && err == nil && s.Version != core.Seq {
-		if seq, serr := e.Run(SeqSpecOf(s)); serr == nil {
-			rec.JoinSeq(seq)
+	rec := e.recordFor(s)
+	if e.JoinSpeedup && rec.Error == "" && s.Version != core.Seq {
+		if seq := e.recordFor(SeqSpecOf(s)); seq.Error == "" {
+			rec.JoinSeqNanos(seq.TimeNanos)
 		}
 	}
 	return rec
@@ -339,7 +435,7 @@ func (e *Engine) StreamWith(w io.Writer, specs []Spec, decorate func(*Record)) (
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		e.prefetch(run, &cancel)
+		e.prefetch(run, &cancel, func(s Spec) { e.recordFor(s) })
 	}()
 	enc := json.NewEncoder(w)
 	var stats StreamStats

@@ -29,7 +29,8 @@ type Progress struct {
 
 	mu       sync.Mutex
 	start    time.Time
-	done     int
+	executed int // runs actually simulated (RunDone)
+	diskHits int // specs served from the persistent store (StoreHit)
 	errs     int
 	hostNS   int64
 	lastLine time.Time
@@ -84,21 +85,40 @@ func (p *Progress) RunDone(s Spec, hostNS int64, err error) {
 		return
 	}
 	p.mu.Lock()
-	now := time.Now()
-	if p.start.IsZero() {
-		p.start = now
-	}
-	p.done++
+	p.executed++
 	p.hostNS += hostNS
 	if err != nil {
 		p.errs++
+	}
+	p.advanceLocked()
+}
+
+// StoreHit records one spec served from the persistent store. It
+// matches the Engine.OnStoreHit signature; store hits advance the
+// completion count but are excluded from the ETA estimate — a disk
+// read says nothing about how long the remaining simulations take.
+func (p *Progress) StoreHit(s Spec) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.diskHits++
+	p.advanceLocked()
+}
+
+// advanceLocked finishes a completion event: starts the clock, emits a
+// throttled line, and releases p.mu.
+func (p *Progress) advanceLocked() {
+	now := time.Now()
+	if p.start.IsZero() {
+		p.start = now
 	}
 	line := ""
 	interval := p.Interval
 	if interval <= 0 {
 		interval = time.Second
 	}
-	if p.Out != nil && (p.done == p.Total || now.Sub(p.lastLine) >= interval) {
+	if p.Out != nil && (p.executed+p.diskHits == p.Total || now.Sub(p.lastLine) >= interval) {
 		p.lastLine = now
 		line = p.lineLocked(now)
 	}
@@ -111,25 +131,37 @@ func (p *Progress) RunDone(s Spec, hostNS int64, err error) {
 // lineLocked renders the stderr progress line. Caller holds p.mu.
 func (p *Progress) lineLocked(now time.Time) string {
 	elapsed := now.Sub(p.start)
-	line := fmt.Sprintf("sweep: %d/%d runs", p.done, p.Total)
+	completed := p.executed + p.diskHits
+	line := fmt.Sprintf("sweep: %d/%d runs", completed, p.Total)
 	if p.errs > 0 {
 		line += fmt.Sprintf(", %d failed", p.errs)
 	}
+	mem := int64(0)
 	if e := p.Engine; e != nil {
-		hs := e.HostStats()
-		line += fmt.Sprintf(", %d cache hits", hs.CacheHits)
+		mem = e.HostStats().CacheHits
+	}
+	if p.Engine != nil || p.diskHits > 0 {
+		line += fmt.Sprintf(", hits %d mem/%d disk", mem, p.diskHits)
 	}
 	line += fmt.Sprintf(", elapsed %s", elapsed.Round(100*time.Millisecond))
-	if p.done > 0 && p.done < p.Total {
-		eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.Total-p.done))
+	// The ETA extrapolates from executed runs only: store and cache
+	// hits are effectively instant, and averaging them in would
+	// collapse the estimate toward zero on a half-warm sweep.
+	if p.executed > 0 && completed < p.Total {
+		perRun := float64(elapsed) / float64(p.executed)
+		eta := time.Duration(perRun * float64(p.Total-completed))
 		line += fmt.Sprintf(", eta %s", eta.Round(100*time.Millisecond))
 	}
 	return line
 }
 
-// ProgressSnapshot is the JSON shape served at /progress.
+// ProgressSnapshot is the JSON shape served at /progress. Done counts
+// every completed spec (executed plus store hits); Executed and
+// DiskHits split it.
 type ProgressSnapshot struct {
 	Done           int     `json:"done"`
+	Executed       int     `json:"executed"`
+	DiskHits       int     `json:"disk_hits,omitempty"`
 	Total          int     `json:"total"`
 	Errors         int     `json:"errors"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
@@ -148,7 +180,9 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	}
 	p.mu.Lock()
 	snap := ProgressSnapshot{
-		Done:           p.done,
+		Done:           p.executed + p.diskHits,
+		Executed:       p.executed,
+		DiskHits:       p.diskHits,
 		Total:          p.Total,
 		Errors:         p.errs,
 		RunHostSeconds: float64(p.hostNS) / 1e9,
@@ -156,8 +190,9 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	if !p.start.IsZero() {
 		snap.ElapsedSeconds = time.Since(p.start).Seconds()
 	}
-	if snap.Done > 0 && snap.Done < snap.Total {
-		snap.EtaSeconds = snap.ElapsedSeconds / float64(snap.Done) * float64(snap.Total-snap.Done)
+	// ETA from executed runs only; see lineLocked.
+	if snap.Executed > 0 && snap.Done < snap.Total {
+		snap.EtaSeconds = snap.ElapsedSeconds / float64(snap.Executed) * float64(snap.Total-snap.Done)
 	}
 	p.mu.Unlock()
 	if e := p.Engine; e != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -154,12 +155,20 @@ func RecordOf(s Spec, res core.Result, err error) Record {
 // duration and the run's speedup over it. No-op on seq and error
 // records.
 func (r *Record) JoinSeq(seq core.Result) {
+	r.JoinSeqNanos(int64(seq.Time))
+}
+
+// JoinSeqNanos is JoinSeq from the baseline's raw duration, as carried
+// by a baseline record's time_ns field. It reconstructs seq_seconds
+// through time.Duration.Seconds so a join computed from a stored
+// baseline is byte-identical to one computed from a live run.
+func (r *Record) JoinSeqNanos(seqNS int64) {
 	if r.Error != "" || r.Version == core.Seq || r.TimeNanos == 0 {
 		return
 	}
-	r.SeqNanos = int64(seq.Time)
-	r.SeqSeconds = seq.Time.Seconds()
-	r.Speedup = float64(seq.Time) / float64(r.TimeNanos)
+	r.SeqNanos = seqNS
+	r.SeqSeconds = time.Duration(seqNS).Seconds()
+	r.Speedup = float64(seqNS) / float64(r.TimeNanos)
 }
 
 // SeqSpecOf returns the sequential-baseline spec a record of s joins

@@ -1,0 +1,231 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/store"
+)
+
+func openStoreT(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, StoreOptions(0))
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// streamT runs one engine over specs and returns the stream bytes.
+func streamT(t *testing.T, e *Engine, specs []Spec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.Stream(&buf, specs); err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestStoreKeepsSweepBytes is the tentpole invariant: sweep output is
+// byte-identical with the store disabled, cold, and warm — at 1, 2 and
+// 8 workers, with speedup joins on, and with observation on — and a
+// warm run executes zero simulations.
+func TestStoreKeepsSweepBytes(t *testing.T) {
+	for _, mode := range []struct {
+		name          string
+		join, observe bool
+	}{
+		{name: "plain"},
+		{name: "speedup", join: true},
+		{name: "observed", observe: true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			specs := testGrid()
+			build := func(workers int, st *store.Store) *Engine {
+				e := New()
+				e.Workers = workers
+				e.JoinSpeedup = mode.join
+				e.Observe = mode.observe
+				e.Store = st
+				return e
+			}
+			want := streamT(t, build(4, nil), specs) // store disabled
+
+			dir := t.TempDir()
+			cold := build(4, openStoreT(t, dir))
+			if got := streamT(t, cold, specs); !bytes.Equal(got, want) {
+				t.Fatalf("cold store changed the sweep bytes:\nwant:\n%s\ngot:\n%s", want, got)
+			}
+			if hs := cold.HostStats(); hs.StoreHits != 0 {
+				t.Errorf("cold run reported %d store hits", hs.StoreHits)
+			}
+
+			for _, workers := range []int{1, 2, 8} {
+				warm := build(workers, openStoreT(t, dir))
+				if got := streamT(t, warm, specs); !bytes.Equal(got, want) {
+					t.Errorf("workers=%d: warm store changed the sweep bytes:\nwant:\n%s\ngot:\n%s",
+						workers, want, got)
+				}
+				hs := warm.HostStats()
+				if hs.RunsStarted != 0 {
+					t.Errorf("workers=%d: warm run executed %d simulations, want 0", workers, hs.RunsStarted)
+				}
+				if want := int64(UniqueRuns(specs, mode.join)); hs.StoreHits != want {
+					t.Errorf("workers=%d: %d store hits, want %d", workers, hs.StoreHits, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreObservedAndPlainRecordsAreDisjoint pins the key split: an
+// observed sweep must never serve (or be served) a plain record, whose
+// bytes lack the bd_* fields.
+func TestStoreObservedAndPlainRecordsAreDisjoint(t *testing.T) {
+	specs := testGrid()[:2]
+	dir := t.TempDir()
+
+	plain := New()
+	plain.Store = openStoreT(t, dir)
+	plainBytes := streamT(t, plain, specs)
+
+	obs := New()
+	obs.Observe = true
+	obs.Store = openStoreT(t, dir)
+	obsBytes := streamT(t, obs, specs)
+	if hs := obs.HostStats(); hs.StoreHits != 0 {
+		t.Errorf("observed sweep hit %d plain store entries", hs.StoreHits)
+	}
+	if !strings.Contains(string(obsBytes), `"bd_`) {
+		t.Fatalf("observed sweep lost its breakdown fields:\n%s", obsBytes)
+	}
+	if strings.Contains(string(plainBytes), `"bd_`) {
+		t.Fatalf("plain sweep gained breakdown fields:\n%s", plainBytes)
+	}
+
+	// Both populations stored: a warm engine of each flavor hits.
+	plain2 := New()
+	plain2.Store = openStoreT(t, dir)
+	if got := streamT(t, plain2, specs); !bytes.Equal(got, plainBytes) {
+		t.Error("warm plain sweep diverged")
+	}
+	if hs := plain2.HostStats(); hs.RunsStarted != 0 {
+		t.Errorf("warm plain sweep executed %d runs", hs.RunsStarted)
+	}
+}
+
+// TestStoreCorruptEntryRecomputed corrupts one stored frame in place:
+// the engine must detect it, re-execute that spec, emit identical
+// bytes, and heal the store so the next run is all hits again.
+func TestStoreCorruptEntryRecomputed(t *testing.T) {
+	specs := testGrid()
+	dir := t.TempDir()
+
+	cold := New()
+	cold.Store = openStoreT(t, dir)
+	want := streamT(t, cold, specs)
+
+	// Flip a byte in the middle of the segment (inside some frame's
+	// payload — the store's CRC must catch it).
+	cur, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, strings.TrimSpace(string(cur)))
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := New()
+	warm.Store = openStoreT(t, dir)
+	if got := streamT(t, warm, specs); !bytes.Equal(got, want) {
+		t.Fatalf("sweep over corrupted store diverged:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	hs := warm.HostStats()
+	if hs.RunsStarted == 0 {
+		t.Error("corrupted entry was served instead of recomputed")
+	}
+	if hs.RunsStarted >= int64(UniqueRuns(specs, false)) {
+		t.Errorf("corruption of one frame re-executed %d runs", hs.RunsStarted)
+	}
+
+	healed := New()
+	healed.Store = openStoreT(t, dir)
+	if got := streamT(t, healed, specs); !bytes.Equal(got, want) {
+		t.Fatal("sweep over healed store diverged")
+	}
+	if hs := healed.HostStats(); hs.RunsStarted != 0 {
+		t.Errorf("healed store still forced %d executions", hs.RunsStarted)
+	}
+}
+
+// TestStoreNeverStoresErrors: failed runs re-execute every time and
+// never land in the store.
+func TestStoreNeverStoresErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := Spec{App: "NoSuchApp", Version: core.Tmk, Procs: 2, Scale: core.SmallScale, Protocol: proto.HomelessLRC}.Normalize()
+	failStream := func(e *Engine) []byte {
+		var buf bytes.Buffer
+		stats, err := e.StreamWith(&buf, []Spec{bad}, nil)
+		if err == nil || stats.Failed != 1 {
+			t.Fatalf("expected one failed record, got stats %+v err %v", stats, err)
+		}
+		return buf.Bytes()
+	}
+	e1 := New()
+	e1.Store = openStoreT(t, dir)
+	want := failStream(e1)
+	if !strings.Contains(string(want), `"error"`) {
+		t.Fatalf("expected an error record, got:\n%s", want)
+	}
+	e2 := New()
+	e2.Store = openStoreT(t, dir)
+	if got := failStream(e2); !bytes.Equal(got, want) {
+		t.Fatal("error record bytes diverged")
+	}
+	if hs := e2.HostStats(); hs.StoreHits != 0 || hs.RunsStarted != 1 {
+		t.Errorf("error spec: hits=%d runs=%d, want 0 hits and a re-execution", hs.StoreHits, hs.RunsStarted)
+	}
+}
+
+// TestProgressSplitsHitsAndSkewsNoETA: store hits advance progress but
+// not the ETA sample, and the line carries the mem/disk split.
+func TestProgressStoreHits(t *testing.T) {
+	specs := testGrid()[:4]
+	dir := t.TempDir()
+	cold := New()
+	cold.Store = openStoreT(t, dir)
+	streamT(t, cold, specs)
+
+	warm := New()
+	warm.Store = openStoreT(t, dir)
+	var lines bytes.Buffer
+	p := NewProgress(UniqueRuns(specs, false), &lines, warm)
+	warm.OnRunDone = p.RunDone
+	warm.OnStoreHit = p.StoreHit
+	streamT(t, warm, specs)
+	snap := p.Snapshot()
+	if snap.Done != snap.Total || snap.Total != len(specs) {
+		t.Fatalf("progress %d/%d after a warm sweep of %d specs", snap.Done, snap.Total, len(specs))
+	}
+	if snap.Executed != 0 || snap.DiskHits != len(specs) {
+		t.Errorf("executed/disk = %d/%d, want 0/%d", snap.Executed, snap.DiskHits, len(specs))
+	}
+	if snap.EtaSeconds != 0 {
+		t.Errorf("warm sweep produced an ETA (%v) from zero executed runs", snap.EtaSeconds)
+	}
+	if !strings.Contains(lines.String(), "disk") {
+		t.Errorf("progress line lacks the mem/disk hit split:\n%s", lines.String())
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // HostStats are the engine's host-side execution counters: how much
@@ -28,6 +29,9 @@ type HostStats struct {
 	// between running simulations and waiting for work.
 	WorkerBusyNS int64
 	WorkerIdleNS int64
+	// StoreHits counts specs served from the persistent store (record
+	// paths; each skipped an entire simulation).
+	StoreHits int64
 }
 
 // hostStats is the atomic backing store for HostStats.
@@ -39,6 +43,7 @@ type hostStats struct {
 	inflight      atomic.Int64
 	workerBusyNS  atomic.Int64
 	workerIdleNS  atomic.Int64
+	storeHits     atomic.Int64
 }
 
 // HostStats returns a snapshot of the engine's host-side counters.
@@ -51,6 +56,7 @@ func (e *Engine) HostStats() HostStats {
 		Inflight:      e.host.inflight.Load(),
 		WorkerBusyNS:  e.host.workerBusyNS.Load(),
 		WorkerIdleNS:  e.host.workerIdleNS.Load(),
+		StoreHits:     e.host.storeHits.Load(),
 	}
 }
 
@@ -73,6 +79,15 @@ const (
 	mSimDispatches = "dsm_sim_dispatches_total"
 	mSimDelivered  = "dsm_sim_messages_delivered_total"
 	mSimPeakQueue  = "dsm_sim_peak_event_queue"
+
+	mStoreHits      = "dsm_store_hits_total"
+	mStoreMisses    = "dsm_store_misses_total"
+	mStorePuts      = "dsm_store_puts_total"
+	mStoreEvictions = "dsm_store_evictions_total"
+	mStoreCorrupt   = "dsm_store_corrupt_frames_total"
+	mStoreBytes     = "dsm_store_bytes"
+	mStoreEntries   = "dsm_store_entries"
+	mStoreOpenErrs  = "dsm_store_open_errors_total"
 )
 
 // Histogram bounds: run host time from 100µs to ~13s, alloc volume
@@ -118,6 +133,24 @@ func (e *Engine) telemetryInit() {
 		// first run already shows them (with no series yet).
 		r.DeclareHistogram(mRunSeconds, helpRunSeconds, runSecondsBuckets)
 		r.DeclareHistogram(mAllocBytes, helpAllocBytes, allocBuckets)
+		if st := e.Store; st != nil {
+			r.CounterFunc(mStoreHits, "Persistent-store reads served from disk.",
+				func() float64 { return float64(st.Stats().Hits) })
+			r.CounterFunc(mStoreMisses, "Persistent-store reads that found no entry.",
+				func() float64 { return float64(st.Stats().Misses) })
+			r.CounterFunc(mStorePuts, "Records written back to the persistent store.",
+				func() float64 { return float64(st.Stats().Puts) })
+			r.CounterFunc(mStoreEvictions, "Persistent-store entries evicted by the size cap.",
+				func() float64 { return float64(st.Stats().Evictions) })
+			r.CounterFunc(mStoreCorrupt, "Persistent-store frames skipped for failed checksums.",
+				func() float64 { return float64(st.Stats().CorruptFrames) })
+			r.GaugeFunc(mStoreBytes, "Persistent-store segment size in bytes.",
+				func() float64 { return float64(st.SizeBytes()) })
+			r.GaugeFunc(mStoreEntries, "Live entries in the persistent store.",
+				func() float64 { return float64(st.Len()) })
+			r.CounterFunc(mStoreOpenErrs, "Failed persistent-store opens, process-wide.",
+				func() float64 { return float64(store.OpenErrors()) })
+		}
 	})
 }
 

@@ -83,7 +83,32 @@ type workerState struct {
 	inflight atomic.Int64
 	retired  atomic.Bool
 
-	consecFail int // touched only by the worker's own goroutine
+	// ewmaNS is an exponentially weighted moving average of this
+	// worker's wall time per spec (successful leases only); 0 means no
+	// observation yet. Adaptive range sizing reads every worker's value
+	// to scale grants, so it is atomic; writes come only from the
+	// worker's own dispatch goroutine.
+	ewmaNS atomic.Int64
+
+	consecFail int   // touched only by the worker's own goroutine
+	grantSizes []int // spec counts granted, in order; same ownership
+}
+
+// observeLease folds one successful lease into the worker's per-spec
+// pace estimate (alpha = 0.4: responsive to a worker going slow,
+// stable against one noisy lease).
+func (ws *workerState) observeLease(nspecs int, d time.Duration) {
+	if nspecs <= 0 {
+		return
+	}
+	per := d.Nanoseconds() / int64(nspecs)
+	if per <= 0 {
+		per = 1
+	}
+	if old := ws.ewmaNS.Load(); old > 0 {
+		per = (2*per + 3*old) / 5
+	}
+	ws.ewmaNS.Store(per)
 }
 
 func (c *Coordinator) rangeSize() int {
@@ -112,6 +137,40 @@ func (c *Coordinator) maxWorkerFailures() int {
 		return c.MaxWorkerFailures
 	}
 	return 3
+}
+
+// grantSpecs sizes the next lease for ws: the configured RangeSize
+// while the fleet is unmeasured or ws roughly keeps pace, scaled down
+// toward one spec once ws falls at least 2x behind the fastest live
+// worker (per-spec EWMA ratio — the hysteresis keeps ordinary timing
+// jitter from fragmenting leases). Sizing only repartitions leases —
+// the merge reassembles spec order whatever the granularity, so output
+// bytes never depend on it.
+func (c *Coordinator) grantSpecs(ws *workerState) int {
+	base := c.rangeSize()
+	mine := ws.ewmaNS.Load()
+	if mine <= 0 {
+		return base
+	}
+	fastest := int64(0)
+	c.mu.Lock()
+	for _, o := range c.workers {
+		if o.retired.Load() {
+			continue
+		}
+		if v := o.ewmaNS.Load(); v > 0 && (fastest == 0 || v < fastest) {
+			fastest = v
+		}
+	}
+	c.mu.Unlock()
+	if fastest <= 0 || mine < 2*fastest {
+		return base
+	}
+	size := int(float64(base) * float64(fastest) / float64(mine))
+	if size < 1 {
+		size = 1
+	}
+	return size
 }
 
 func (c *Coordinator) client() *http.Client {
@@ -198,16 +257,19 @@ func (c *Coordinator) Run(out io.Writer, specs []exp.Spec) (exp.StreamStats, err
 		c.serveLocal(eng, tbl, specs)
 	}()
 
-	// Merge: emit ranges strictly in order as their records land.
+	// Merge: emit ranges strictly in spec order as their records land.
+	// The walk is by position, not index — adaptive sizing can split
+	// ranges (growing the slice) while the merge runs.
 	enc := json.NewEncoder(out)
 	var stats exp.StreamStats
 	var errs []error
 	seenErr := map[string]bool{}
-	for idx := range tbl.ranges {
-		recs, ok := tbl.waitDone(idx)
+	for pos := 0; pos < len(specs); {
+		recs, next, ok := tbl.waitDoneAt(pos)
 		if !ok {
 			break // canceled — only the write-failure path below does that
 		}
+		pos = next
 		for _, rec := range recs {
 			if rec.Error != "" {
 				stats.Failed++
@@ -287,13 +349,15 @@ func (c *Coordinator) probe(ctx context.Context, base string) (Hello, error) {
 // failed leases.
 func (c *Coordinator) serveWorker(ctx context.Context, ws *workerState, tbl *leaseTable, specs []exp.Spec) {
 	for {
-		g, ok := tbl.next(false)
+		g, ok := tbl.next(false, c.grantSpecs(ws))
 		if !ok {
 			return
 		}
-		r := tbl.ranges[g.idx]
+		r := g.r
+		ws.grantSizes = append(ws.grantSizes, r.hi-r.lo)
 		ws.leases.Add(1)
 		ws.inflight.Add(1)
+		leaseStart := time.Now()
 		recs, err := c.runRemote(ctx, ws, g, specs[r.lo:r.hi])
 		ws.inflight.Add(-1)
 		if err != nil {
@@ -305,8 +369,8 @@ func (c *Coordinator) serveWorker(ctx context.Context, ws *workerState, tbl *lea
 			}
 			tbl.fail(g)
 			ws.consecFail++
-			c.logf("fabric: worker %s lease r%d.%d failed (expired=%v, consecutive %d): %v",
-				ws.addr, g.idx, g.attempt, expired, ws.consecFail, err)
+			c.logf("fabric: worker %s lease %s failed (expired=%v, consecutive %d): %v",
+				ws.addr, leaseID(g), expired, ws.consecFail, err)
 			if ws.consecFail >= c.maxWorkerFailures() {
 				ws.retired.Store(true)
 				tbl.retireWorker()
@@ -326,6 +390,7 @@ func (c *Coordinator) serveWorker(ctx context.Context, ws *workerState, tbl *lea
 			continue
 		}
 		ws.consecFail = 0
+		ws.observeLease(len(recs), time.Since(leaseStart))
 		ws.records.Add(int64(len(recs)))
 		if !tbl.deliver(g, recs) {
 			c.duplicates.Add(int64(len(recs)))
@@ -333,17 +398,24 @@ func (c *Coordinator) serveWorker(ctx context.Context, ws *workerState, tbl *lea
 	}
 }
 
+// leaseID names one grant for logs and the wire: spec bounds plus the
+// attempt ordinal. Bounds are frozen while leased, so the ID is
+// stable.
+func leaseID(g grant) string {
+	return fmt.Sprintf("r%d-%d.%d", g.r.lo, g.r.hi, g.attempt)
+}
+
 // serveLocal is the fallback executor: it runs attempt-exhausted
 // ranges (and, once no live workers remain, everything unfinished)
 // through the local engine.
 func (c *Coordinator) serveLocal(eng *exp.Engine, tbl *leaseTable, specs []exp.Spec) {
 	for {
-		g, ok := tbl.next(true)
+		g, ok := tbl.next(true, 0)
 		if !ok {
 			return
 		}
-		r := tbl.ranges[g.idx]
-		c.logf("fabric: running range r%d (%d specs) locally", g.idx, r.hi-r.lo)
+		r := g.r
+		c.logf("fabric: running range r%d-%d (%d specs) locally", r.lo, r.hi, r.hi-r.lo)
 		recs := make([]exp.Record, 0, r.hi-r.lo)
 		for _, s := range specs[r.lo:r.hi] {
 			recs = append(recs, eng.Record(s))
@@ -367,7 +439,7 @@ func (c *Coordinator) runRemote(ctx context.Context, ws *workerState, g grant, s
 	}
 	body, err := json.Marshal(RunRequest{
 		SchemaVersion: exp.SchemaVersion,
-		Lease:         fmt.Sprintf("r%d.%d", g.idx, g.attempt),
+		Lease:         leaseID(g),
 		Speedup:       c.Speedup,
 		Observe:       c.Observe,
 		Keys:          keys,

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -46,6 +47,12 @@ type specRange struct {
 // and whether the merge was canceled. One mutex + condition variable
 // serialize it; grants, deliveries, failures and retirements all
 // broadcast so blocked workers and the in-order emitter re-evaluate.
+//
+// ranges stays sorted by lo and contiguous over [0, n): adaptive
+// sizing may split a pending range into a granted head and a pending
+// remainder, growing the slice, but never changes a leased or done
+// range's bounds — so the merge can walk spec positions and every
+// grant's slice is stable for its whole lease.
 type leaseTable struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -72,10 +79,11 @@ func newLeaseTable(n, size, maxAttempts, liveWorkers int) *leaseTable {
 	return t
 }
 
-// grant is one lease assignment: the range index and the attempt
-// ordinal (1-based, for lease IDs and logs).
+// grant is one lease assignment: the granted range (its bounds are
+// frozen while leased) and the attempt ordinal (1-based, for lease IDs
+// and logs). Splits shift slice indices, so grants hold the pointer.
 type grant struct {
-	idx     int
+	r       *specRange
 	attempt int
 }
 
@@ -89,7 +97,13 @@ type grant struct {
 // callers (local=true) get ranges whose remote attempts are exhausted
 // — or any unfinished range once no live workers remain — and never
 // duplicate in-flight work.
-func (t *leaseTable) next(local bool) (grant, bool) {
+//
+// maxSpecs > 0 caps the grant for remote callers (adaptive range
+// sizing): a larger pending range is split at maxSpecs and only the
+// head granted, leaving the remainder pending for faster hands.
+// Straggler duplicates are never split — the original attempt's bounds
+// are already fixed.
+func (t *leaseTable) next(local bool, maxSpecs int) (grant, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for {
@@ -98,16 +112,33 @@ func (t *leaseTable) next(local bool) (grant, bool) {
 		}
 		if idx, ok := t.pickLocked(local); ok {
 			r := t.ranges[idx]
+			if !local && maxSpecs > 0 && r.status == rangePending && r.hi-r.lo > maxSpecs {
+				t.splitLocked(idx, maxSpecs)
+				r = t.ranges[idx]
+			}
 			r.status = rangeLeased
 			if r.inflight == 0 {
 				r.started = time.Now()
 			}
 			r.inflight++
 			r.attempts++
-			return grant{idx: idx, attempt: r.attempts}, true
+			return grant{r: r, attempt: r.attempts}, true
 		}
 		t.cond.Wait()
 	}
+}
+
+// splitLocked splits the pending range at idx into [lo, lo+keep) and a
+// pending remainder [lo+keep, hi), inserted right after it. The new
+// pending work wakes anything blocked in next. Caller holds t.mu.
+func (t *leaseTable) splitLocked(idx, keep int) {
+	r := t.ranges[idx]
+	rest := &specRange{lo: r.lo + keep, hi: r.hi}
+	r.hi = r.lo + keep
+	t.ranges = append(t.ranges, nil)
+	copy(t.ranges[idx+2:], t.ranges[idx+1:])
+	t.ranges[idx+1] = rest
+	t.cond.Broadcast()
 }
 
 // pickLocked chooses a range for a grant. Caller holds t.mu.
@@ -148,7 +179,7 @@ func (t *leaseTable) pickLocked(local bool) (int, bool) {
 func (t *leaseTable) deliver(g grant, recs []exp.Record) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	r := t.ranges[g.idx]
+	r := g.r
 	if r.inflight > 0 {
 		r.inflight--
 	}
@@ -168,7 +199,7 @@ func (t *leaseTable) deliver(g grant, recs []exp.Record) bool {
 func (t *leaseTable) fail(g grant) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	r := t.ranges[g.idx]
+	r := g.r
 	if r.inflight > 0 {
 		r.inflight--
 	}
@@ -200,20 +231,34 @@ func (t *leaseTable) cancel() {
 	t.cond.Broadcast()
 }
 
-// waitDone blocks until range idx is done and returns its records, or
-// ok=false if the table was canceled first.
-func (t *leaseTable) waitDone(idx int) ([]exp.Record, bool) {
+// waitDoneAt blocks until the range starting at spec position lo is
+// done, returning its records and the next position; ok=false means
+// the table was canceled first. Splits only touch pending ranges, so
+// the range at lo may gain a smaller hi while still pending, but once
+// done its bounds are final — the emitter walks positions, immune to
+// the slice growing under it.
+func (t *leaseTable) waitDoneAt(lo int) ([]exp.Record, int, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for {
-		if t.ranges[idx].status == rangeDone {
-			return t.ranges[idx].records, true
+		if r := t.rangeAtLocked(lo); r != nil && r.status == rangeDone {
+			return r.records, r.hi, true
 		}
 		if t.canceled {
-			return nil, false
+			return nil, 0, false
 		}
 		t.cond.Wait()
 	}
+}
+
+// rangeAtLocked finds the range whose lo matches, by binary search
+// (ranges stay sorted and contiguous). Caller holds t.mu.
+func (t *leaseTable) rangeAtLocked(lo int) *specRange {
+	i := sort.Search(len(t.ranges), func(i int) bool { return t.ranges[i].lo >= lo })
+	if i < len(t.ranges) && t.ranges[i].lo == lo {
+		return t.ranges[i]
+	}
+	return nil
 }
 
 // doneRanges returns how many ranges have completed (for progress).
@@ -221,4 +266,11 @@ func (t *leaseTable) doneRanges() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.done
+}
+
+// totalRanges returns the current range count; splits grow it.
+func (t *leaseTable) totalRanges() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ranges)
 }

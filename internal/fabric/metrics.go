@@ -35,10 +35,14 @@ func (c *Coordinator) registerMetrics() {
 		return
 	}
 	c.metricsOnce.Do(func() {
-		r.GaugeFunc(mRangesTotal, "Leased ranges in the current sweep.", func() float64 {
+		r.GaugeFunc(mRangesTotal, "Leased ranges in the current sweep (splits grow it).", func() float64 {
 			c.mu.Lock()
-			defer c.mu.Unlock()
-			return float64(c.rangesTotal)
+			tbl, total := c.tbl, c.rangesTotal
+			c.mu.Unlock()
+			if tbl != nil {
+				return float64(tbl.totalRanges())
+			}
+			return float64(total)
 		})
 		r.GaugeFunc(mRangesDone, "Leased ranges completed.", func() float64 {
 			c.mu.Lock()
@@ -129,6 +133,7 @@ func (c *Coordinator) Snapshot() FleetSnapshot {
 	c.mu.Unlock()
 	if tbl != nil {
 		snap.RangesDone = tbl.doneRanges()
+		snap.RangesTotal = tbl.totalRanges()
 	}
 	snap.RecordsDone = c.recordsDone.Load()
 	snap.RecordsFailed = c.recordsFailed.Load()
@@ -178,8 +183,9 @@ func (c *Coordinator) progressLine() {
 	rangesTotal := c.rangesTotal
 	var rangesDone int
 	if c.tbl != nil {
-		// doneRanges takes the table lock, never the coordinator's.
+		// done/totalRanges take the table lock, never the coordinator's.
 		rangesDone = c.tbl.doneRanges()
+		rangesTotal = c.tbl.totalRanges()
 	}
 	live := 0
 	for _, ws := range c.workers {

@@ -6,9 +6,11 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // Worker executes leased spec ranges through exp engines and streams
@@ -27,6 +29,15 @@ type Worker struct {
 	Progress *exp.Progress
 	// Logf, when non-nil, receives one line per lease served/rejected.
 	Logf func(format string, args ...any)
+	// Store, when non-nil, is the worker's local persistent result
+	// store: leased specs already on disk are served without executing,
+	// and executed records are written back. Set before the first lease
+	// (engines capture it at creation).
+	Store *store.Store
+	// StallPerRecord, when > 0, sleeps that long per streamed record —
+	// a test hook that makes this worker deliberately slow, so adaptive
+	// range sizing has something to adapt to.
+	StallPerRecord time.Duration
 
 	// KillAfterRecords > 0 injects a fault: after streaming that many
 	// records (across all leases), the worker invokes Kill. The default
@@ -42,6 +53,14 @@ type Worker struct {
 
 	streamed atomic.Int64
 	dead     atomic.Bool
+	draining atomic.Bool
+
+	// activeMu guards activeN, the in-flight /run count; Drain flips
+	// draining under the same lock, so a lease either registers before
+	// the drain (and is awaited) or observes it (and is refused).
+	activeMu   sync.Mutex
+	activeIdle *sync.Cond
+	activeN    int
 
 	leasesActive  *metrics.Gauge
 	leasesServed  *metrics.Counter
@@ -75,6 +94,7 @@ func NewWorker(r *metrics.Registry) *Worker {
 		Progress: exp.NewProgress(0, nil, nil),
 		engines:  map[engineKey]*exp.Engine{},
 	}
+	w.activeIdle = sync.NewCond(&w.activeMu)
 	w.leasesActive = r.Gauge(mWorkerLeasesActive, "Fabric leases streaming right now.")
 	w.leasesServed = r.Counter(mWorkerLeases, "Fabric leases accepted and streamed.")
 	w.leasesDenied = r.Counter(mWorkerDenied, "Fabric leases rejected (schema mismatch, bad keys, dead worker).")
@@ -100,7 +120,9 @@ func (w *Worker) engine(k engineKey) *exp.Engine {
 	if len(w.engines) == 0 {
 		e.Metrics = w.Metrics
 	}
+	e.Store = w.Store
 	e.OnRunDone = w.Progress.RunDone
+	e.OnStoreHit = w.Progress.StoreHit
 	w.engines[k] = e
 	return e
 }
@@ -125,15 +147,40 @@ func (w *Worker) Handler() http.Handler {
 	return mux
 }
 
-// handleHealth serves the schema handshake. A dead (killed) worker
-// answers 503 so coordinators stop considering it.
+// handleHealth serves the schema handshake. A dead (killed) or
+// draining worker answers 503 so coordinators stop considering it.
 func (w *Worker) handleHealth(rw http.ResponseWriter, _ *http.Request) {
 	if w.dead.Load() {
 		http.Error(rw, "fabric: worker killed", http.StatusServiceUnavailable)
 		return
 	}
+	if w.draining.Load() {
+		http.Error(rw, "fabric: worker draining", http.StatusServiceUnavailable)
+		return
+	}
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(Hello{OK: true, SchemaVersion: exp.SchemaVersion}) //nolint:errcheck // client went away
+}
+
+// beginLease registers an in-flight /run; false means the worker is
+// draining and the lease must be refused.
+func (w *Worker) beginLease() bool {
+	w.activeMu.Lock()
+	defer w.activeMu.Unlock()
+	if w.draining.Load() {
+		return false
+	}
+	w.activeN++
+	return true
+}
+
+func (w *Worker) endLease() {
+	w.activeMu.Lock()
+	w.activeN--
+	if w.activeN == 0 {
+		w.activeIdle.Broadcast()
+	}
+	w.activeMu.Unlock()
 }
 
 // handleRun leases one range: decode, validate, execute, stream.
@@ -143,6 +190,12 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, "fabric: worker killed", http.StatusServiceUnavailable)
 		return
 	}
+	if !w.beginLease() {
+		w.leasesDenied.Inc()
+		http.Error(rw, "fabric: worker draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer w.endLease()
 	var rr RunRequest
 	dec := json.NewDecoder(req.Body)
 	dec.DisallowUnknownFields()
@@ -188,6 +241,9 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 	rw.Header().Set("Content-Type", "application/x-ndjson")
 	out := &flushWriter{w: rw}
 	stats, err := eng.StreamWith(out, specs, func(rec *exp.Record) {
+		if d := w.StallPerRecord; d > 0 {
+			time.Sleep(d)
+		}
 		rec.SchemaVersion = exp.SchemaVersion
 		if rec.Error != "" {
 			w.recordsFailed.Inc()
@@ -202,6 +258,41 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 		// means the coordinator hung up — nothing left to tell it.
 		w.logf("fabric worker: lease %s: %d/%d records failed: %v", rr.Lease, stats.Failed, stats.Records, err)
 	}
+}
+
+// Drain shuts the worker down gracefully: new leases (and health
+// checks) answer 503 immediately, in-flight leases run to completion,
+// and the local store — if any — is flushed and closed so every record
+// streamed so far survives on disk. It returns an error if the
+// in-flight leases do not finish within timeout (the store is still
+// closed: appends are durable frame by frame, so at worst the store
+// misses the interrupted lease's tail).
+func (w *Worker) Drain(timeout time.Duration) error {
+	w.activeMu.Lock()
+	w.draining.Store(true)
+	w.activeMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		w.activeMu.Lock()
+		for w.activeN > 0 {
+			w.activeIdle.Wait()
+		}
+		w.activeMu.Unlock()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		err = fmt.Errorf("fabric: drain timed out after %s with leases still in flight", timeout)
+	}
+	if w.Store != nil {
+		if cerr := w.Store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	w.logf("fabric worker: drained (%d records streamed)", int64(w.recordsOut.Value()))
+	return err
 }
 
 // die executes the injected kill: by default the worker goes dead

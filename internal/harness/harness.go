@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/proto"
+	"repro/internal/store"
 )
 
 // Apps returns the six applications in the paper's order.
@@ -59,6 +60,11 @@ type Runner struct {
 	// one engine: side-runners sharing a process must keep their own
 	// Metrics nil.
 	Metrics *metrics.Registry
+	// Store, when non-nil, backs the engine with the persistent result
+	// store (see exp.Engine.Store): record-serving experiments are
+	// byte-identical whether served from disk or executed. Set before
+	// the first run.
+	Store *store.Store
 
 	eng *exp.Engine
 }
@@ -83,6 +89,7 @@ func (r *Runner) Engine() *exp.Engine {
 		r.eng.Workers = r.Workers
 		r.eng.Observe = r.Observe
 		r.eng.Metrics = r.Metrics
+		r.eng.Store = r.Store
 	}
 	return r.eng
 }

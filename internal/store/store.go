@@ -1,0 +1,792 @@
+// Package store is a zero-dependency, disk-backed record store mapping
+// (Spec.Key(), schema version) -> the exact JSON-line record bytes the
+// sweep engine would emit. The simulator is deterministic, so a record
+// is content-addressable by its spec key: any committed value IS the
+// value, forever, and serving it back is byte-identical to re-running.
+//
+// Layout (one directory per store):
+//
+//	DIR/LOCK          advisory flock target (never written)
+//	DIR/CURRENT       name of the live segment ("seg-<gen>.log"),
+//	                  updated via temp+rename and a directory fsync
+//	DIR/seg-<g>.log   append-only frames (see below)
+//
+// Each entry is one frame:
+//
+//	magic  u32  "DSR1" (little-endian on disk)
+//	payLen u32  length of the payload that follows the header
+//	crc    u32  IEEE CRC-32 of the payload
+//	payload:
+//	    schema u32
+//	    keyLen u32, key bytes
+//	    valLen u32, val bytes
+//
+// Crash safety: a torn append leaves an incomplete frame at the tail;
+// readers stop scanning there (never serving it) and the next writer —
+// which holds the exclusive lock, so nothing can be mid-append —
+// truncates the garbage before appending. In-place corruption (bad
+// CRC, mangled lengths) is skipped by resynchronizing on the magic and
+// counted, and the next write compacts the segment to drop the dead
+// bytes. Get re-verifies the CRC on every read, so a frame corrupted
+// after indexing is still never served.
+//
+// Concurrency: one *Store is safe for any number of goroutines, and
+// any number of OS processes may share a directory. Writers serialize
+// on an exclusive flock of DIR/LOCK and re-read CURRENT plus the
+// segment tail before every append, so each process sees all committed
+// entries; readers are lock-free against their open segment handle
+// (a concurrent compaction unlinks it, which POSIX keeps readable).
+//
+// Eviction is least-recently-used by this process's access order
+// (falling back to append order for entries it never touched) and
+// triggers when the segment exceeds MaxBytes: survivors are rewritten
+// oldest-first into a new segment, CURRENT is swapped atomically, and
+// the old segment removed.
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	magic       = 0x31525344 // "DSR1" little-endian
+	headerSize  = 12         // magic + payLen + crc
+	maxKeyLen   = 1 << 12
+	maxValLen   = 1 << 24
+	currentName = "CURRENT"
+	lockName    = "LOCK"
+)
+
+// openErrors counts failed Open calls process-wide, for the
+// dsm_store_open_errors_total metric family.
+var openErrors atomic.Int64
+
+// OpenErrors returns the number of Open calls that failed in this
+// process.
+func OpenErrors() int64 { return openErrors.Load() }
+
+// Options configures a store.
+type Options struct {
+	// MaxBytes caps the segment file size; exceeding it evicts
+	// least-recently-used entries (the newest entry always survives,
+	// even if it alone exceeds the cap). Zero means unbounded.
+	MaxBytes int64
+	// SchemaVersion is stamped into every frame; frames carrying any
+	// other version are never indexed, never served, and dropped at the
+	// next compaction. Bump it when the record schema changes shape.
+	SchemaVersion uint32
+}
+
+// Stats is a snapshot of the store's lifetime counters (this process,
+// this *Store).
+type Stats struct {
+	Hits          int64 // Get calls served from disk
+	Misses        int64 // Get calls that found no entry
+	Puts          int64 // frames appended (deduplicated Puts excluded)
+	Evictions     int64 // entries dropped by the size cap or Evict
+	CorruptFrames int64 // frames skipped for bad CRC or mangled framing
+	SchemaSkips   int64 // frames skipped for a schema-version mismatch
+	Compactions   int64 // segment rewrites
+}
+
+// entry is one live key in the in-memory index.
+type entry struct {
+	key      string
+	off      int64 // frame start in the segment
+	frameLen int64
+	elem     *list.Element
+}
+
+// Store is a handle on one store directory. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	lockFile *os.File
+	seg      *os.File
+	segName  string
+	gen      uint64
+	size     int64 // segment bytes covered by the scan (append offset)
+	index    map[string]*entry
+	lru      *list.List // front = least recently used
+	// segDirty is true when the current segment carries dead bytes
+	// (corrupt frames, schema mismatches, superseded keys) worth
+	// compacting away on the next write.
+	segDirty bool
+	closed   bool
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	puts        atomic.Int64
+	evictions   atomic.Int64
+	corrupt     atomic.Int64
+	schemaSkips atomic.Int64
+	compactions atomic.Int64
+}
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string, opt Options) (*Store, error) {
+	s, err := open(dir, opt)
+	if err != nil {
+		openErrors.Add(1)
+	}
+	return s, err
+}
+
+func open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lf, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		opt:      opt,
+		lockFile: lf,
+		index:    map[string]*entry{},
+		lru:      list.New(),
+	}
+	// Exclusive init: first opener creates CURRENT and the empty
+	// segment; everyone else just scans.
+	if err := flockEx(lf); err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("store: lock %s: %w", dir, err)
+	}
+	err = s.refreshLocked(true)
+	if uerr := flockUn(lf); uerr != nil && err == nil {
+		err = uerr
+	}
+	if err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Close releases the store's file handles. The store is unusable
+// afterwards; on-disk state needs no shutdown beyond what every write
+// already fsynced.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.seg != nil {
+		err = s.seg.Close()
+		s.seg = nil
+	}
+	if cerr := s.lockFile.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats snapshots the lifetime counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Puts:          s.puts.Load(),
+		Evictions:     s.evictions.Load(),
+		CorruptFrames: s.corrupt.Load(),
+		SchemaSkips:   s.schemaSkips.Load(),
+		Compactions:   s.compactions.Load(),
+	}
+}
+
+// Get returns the stored value for key, re-verifying its checksum. A
+// frame that fails verification is dropped from the index and reported
+// as a miss, so a corrupted entry is transparently recomputed by the
+// caller and healed by its write-back.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.misses.Add(1)
+		return nil, false
+	}
+	en := s.index[key]
+	if en == nil {
+		// Another process may have committed the key since our last
+		// scan: refresh once, then decide.
+		if err := s.refreshLocked(false); err == nil {
+			en = s.index[key]
+		}
+	}
+	if en == nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	val, err := s.readEntryLocked(en)
+	if err != nil {
+		s.dropLocked(en)
+		s.corrupt.Add(1)
+		s.segDirty = true
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.touchLocked(en)
+	s.hits.Add(1)
+	return val, true
+}
+
+// Put stores value under key. Writes go through the exclusive
+// directory lock: refresh, truncate any torn tail, compact if the
+// segment is dirty or over budget, append, fsync. Re-putting an
+// identical value is a no-op; a different value supersedes the old
+// frame (determinism makes that unexpected, but the newest write
+// wins).
+func (s *Store) Put(key string, value []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("store: key length %d out of range", len(key))
+	}
+	if len(value) > maxValLen {
+		return fmt.Errorf("store: value length %d exceeds %d", len(value), maxValLen)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if err := flockEx(s.lockFile); err != nil {
+		return fmt.Errorf("store: lock: %w", err)
+	}
+	defer flockUn(s.lockFile) //nolint:errcheck // advisory unlock
+	if err := s.refreshLocked(true); err != nil {
+		return err
+	}
+	if old := s.index[key]; old != nil {
+		if oldVal, err := s.readEntryLocked(old); err == nil && string(oldVal) == string(value) {
+			s.touchLocked(old)
+			return nil
+		}
+		s.dropLocked(old)
+		s.segDirty = true
+	}
+	if s.segDirty {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+	}
+	frame := encodeFrame(s.opt.SchemaVersion, key, value)
+	if _, err := s.seg.WriteAt(frame, s.size); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := s.seg.Sync(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	en := &entry{key: key, off: s.size, frameLen: int64(len(frame))}
+	en.elem = s.lru.PushBack(en)
+	s.index[key] = en
+	s.size += int64(len(frame))
+	s.puts.Add(1)
+	if s.opt.MaxBytes > 0 && s.size > s.opt.MaxBytes {
+		return s.evictLocked(s.opt.MaxBytes)
+	}
+	return nil
+}
+
+// Len returns the number of live entries (refreshing from disk first).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	s.refreshLocked(false) //nolint:errcheck // stale view on error
+	return len(s.index)
+}
+
+// SizeBytes returns the current segment size in bytes.
+func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	s.refreshLocked(false) //nolint:errcheck // stale view on error
+	return s.size
+}
+
+// Keys returns the live keys in sorted order — the store's
+// deterministic iteration order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.refreshLocked(false) //nolint:errcheck // stale view on error
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Evict drops least-recently-used entries until the segment fits in
+// targetBytes, compacting the segment. It returns the number of
+// entries dropped.
+func (s *Store) Evict(targetBytes int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("store: closed")
+	}
+	if err := flockEx(s.lockFile); err != nil {
+		return 0, fmt.Errorf("store: lock: %w", err)
+	}
+	defer flockUn(s.lockFile) //nolint:errcheck // advisory unlock
+	if err := s.refreshLocked(true); err != nil {
+		return 0, err
+	}
+	before := len(s.index)
+	if err := s.evictLocked(targetBytes); err != nil {
+		return before - len(s.index), err
+	}
+	return before - len(s.index), nil
+}
+
+// VerifyReport summarizes a Verify pass.
+type VerifyReport struct {
+	// Entries is the number of live entries checked.
+	Entries int
+	// Bytes is the segment size in bytes.
+	Bytes int64
+	// CorruptFrames counts frames that failed checksum or framing
+	// verification — dead bytes found while scanning the segment plus
+	// any live entry whose re-read failed.
+	CorruptFrames int
+	// SchemaSkips counts frames stamped with a different schema
+	// version.
+	SchemaSkips int
+	// BadValues counts live entries the caller's check rejected.
+	BadValues int
+}
+
+// Verify re-scans the segment from scratch and re-reads every live
+// entry, verifying checksums; check, when non-nil, is called with each
+// key and value (in sorted key order) and may reject the value. The
+// report counts everything found wrong; err is non-nil only when the
+// store itself cannot be read.
+func (s *Store) Verify(check func(key string, value []byte) error) (VerifyReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep VerifyReport
+	if s.closed {
+		return rep, errors.New("store: closed")
+	}
+	// Force a from-scratch scan so the report reflects the segment as
+	// it is now, not counters accumulated across compactions.
+	s.segName = ""
+	corrupt0, schema0 := s.corrupt.Load(), s.schemaSkips.Load()
+	if err := s.refreshLocked(false); err != nil {
+		return rep, err
+	}
+	rep.CorruptFrames = int(s.corrupt.Load() - corrupt0)
+	rep.SchemaSkips = int(s.schemaSkips.Load() - schema0)
+	rep.Bytes = s.size
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		en := s.index[k]
+		val, err := s.readEntryLocked(en)
+		if err != nil {
+			s.dropLocked(en)
+			s.corrupt.Add(1)
+			s.segDirty = true
+			rep.CorruptFrames++
+			continue
+		}
+		rep.Entries++
+		if check != nil {
+			if err := check(k, val); err != nil {
+				rep.BadValues++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// --- internals (all require s.mu) ---
+
+// refreshLocked brings the index up to date with the directory: it
+// re-reads CURRENT (rebuilding the index when the segment generation
+// changed) and scans any bytes appended since the last scan. With
+// writer=true the caller holds the exclusive flock, so an unparseable
+// tail cannot be an in-flight append and is truncated away; readers
+// leave it for the next writer.
+func (s *Store) refreshLocked(writer bool) error {
+	name, gen, err := s.readCurrentLocked(writer)
+	if err != nil {
+		return err
+	}
+	if name != s.segName {
+		seg, err := os.OpenFile(filepath.Join(s.dir, name), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: segment: %w", err)
+		}
+		if s.seg != nil {
+			s.seg.Close()
+		}
+		s.seg = seg
+		s.segName = name
+		s.gen = gen
+		s.size = 0
+		s.segDirty = false
+		s.index = map[string]*entry{}
+		s.lru.Init()
+	}
+	st, err := s.seg.Stat()
+	if err != nil {
+		return fmt.Errorf("store: segment: %w", err)
+	}
+	if st.Size() > s.size {
+		if err := s.scanTailLocked(st.Size(), writer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readCurrentLocked reads CURRENT, initializing the store layout on
+// first contact (writer only; a reader racing the very first writer
+// retries through the error path).
+func (s *Store) readCurrentLocked(writer bool) (string, uint64, error) {
+	b, err := os.ReadFile(filepath.Join(s.dir, currentName))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return "", 0, fmt.Errorf("store: CURRENT: %w", err)
+		}
+		name := "seg-1.log"
+		if !writer {
+			// Reader before any writer initialized the directory: treat
+			// as the empty first segment without creating files.
+			return name, 1, nil
+		}
+		if err := writeFileAtomic(s.dir, currentName, []byte(name+"\n")); err != nil {
+			return "", 0, err
+		}
+		return name, 1, nil
+	}
+	name := strings.TrimSpace(string(b))
+	gen, err := segGen(name)
+	if err != nil {
+		return "", 0, err
+	}
+	return name, gen, nil
+}
+
+func segGen(name string) (uint64, error) {
+	trimmed := strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".log")
+	if trimmed == name || !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+		return 0, fmt.Errorf("store: malformed CURRENT %q", name)
+	}
+	gen, err := strconv.ParseUint(trimmed, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("store: malformed CURRENT %q", name)
+	}
+	return gen, nil
+}
+
+// scanTailLocked parses frames in [s.size, end), indexing every intact
+// frame with the right schema version. Corrupt frames are skipped by
+// resyncing on the magic; an unparseable tail with no valid frame
+// after it stops the scan (a reader may be seeing a torn or in-flight
+// append) — unless writer is set, in which case it is truncated away.
+func (s *Store) scanTailLocked(end int64, writer bool) error {
+	data := make([]byte, end-s.size)
+	if _, err := s.seg.ReadAt(data, s.size); err != nil && err != io.EOF {
+		return fmt.Errorf("store: read segment: %w", err)
+	}
+	pos := 0
+	for pos < len(data) {
+		frameLen, key, ok := parseFrame(data[pos:], s.opt.SchemaVersion)
+		if ok {
+			if key != "" { // schema match
+				if old := s.index[key]; old != nil {
+					s.dropLocked(old)
+					s.segDirty = true
+				}
+				en := &entry{key: key, off: s.size + int64(pos), frameLen: int64(frameLen)}
+				en.elem = s.lru.PushBack(en)
+				s.index[key] = en
+			} else {
+				s.schemaSkips.Add(1)
+				s.segDirty = true
+			}
+			pos += frameLen
+			continue
+		}
+		// Bad frame: hunt for the next one that parses clean.
+		next := resync(data[pos+1:], s.opt.SchemaVersion)
+		if next < 0 {
+			// Garbage to end-of-data: a torn (or in-flight) tail.
+			if writer {
+				if err := s.seg.Truncate(s.size + int64(pos)); err != nil {
+					return fmt.Errorf("store: truncate torn tail: %w", err)
+				}
+				s.corrupt.Add(1)
+			}
+			s.size += int64(pos)
+			return nil
+		}
+		s.corrupt.Add(1)
+		s.segDirty = true
+		pos += 1 + next
+	}
+	s.size = end
+	return nil
+}
+
+// parseFrame parses one frame at the head of data. ok reports an
+// intact frame of length frameLen; key is empty when the frame's
+// schema version does not match want.
+func parseFrame(data []byte, want uint32) (frameLen int, key string, ok bool) {
+	if len(data) < headerSize {
+		return 0, "", false
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != magic {
+		return 0, "", false
+	}
+	payLen := binary.LittleEndian.Uint32(data[4:8])
+	if payLen < 12 || payLen > maxKeyLen+maxValLen+12 {
+		return 0, "", false
+	}
+	if len(data) < headerSize+int(payLen) {
+		return 0, "", false
+	}
+	pay := data[headerSize : headerSize+int(payLen)]
+	if crc32.ChecksumIEEE(pay) != binary.LittleEndian.Uint32(data[8:12]) {
+		return 0, "", false
+	}
+	schema := binary.LittleEndian.Uint32(pay[0:4])
+	keyLen := binary.LittleEndian.Uint32(pay[4:8])
+	if keyLen == 0 || keyLen > maxKeyLen || 8+keyLen+4 > payLen {
+		return 0, "", false
+	}
+	valLen := binary.LittleEndian.Uint32(pay[8+keyLen : 12+keyLen])
+	if uint64(12)+uint64(keyLen)+uint64(valLen) != uint64(payLen) {
+		return 0, "", false
+	}
+	frameLen = headerSize + int(payLen)
+	if schema != want {
+		return frameLen, "", true
+	}
+	return frameLen, string(pay[8 : 8+keyLen]), true
+}
+
+// resync finds the offset of the next intact frame in data, or -1.
+func resync(data []byte, want uint32) int {
+	for i := 0; i+headerSize <= len(data); i++ {
+		if binary.LittleEndian.Uint32(data[i:i+4]) != magic {
+			continue
+		}
+		if _, _, ok := parseFrame(data[i:], want); ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// encodeFrame renders one frame.
+func encodeFrame(schema uint32, key string, value []byte) []byte {
+	payLen := 12 + len(key) + len(value)
+	buf := make([]byte, headerSize+payLen)
+	binary.LittleEndian.PutUint32(buf[0:4], magic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(payLen))
+	pay := buf[headerSize:]
+	binary.LittleEndian.PutUint32(pay[0:4], schema)
+	binary.LittleEndian.PutUint32(pay[4:8], uint32(len(key)))
+	copy(pay[8:], key)
+	binary.LittleEndian.PutUint32(pay[8+len(key):12+len(key)], uint32(len(value)))
+	copy(pay[12+len(key):], value)
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(pay))
+	return buf
+}
+
+// readEntryLocked re-reads and re-verifies one live frame, returning
+// its value.
+func (s *Store) readEntryLocked(en *entry) ([]byte, error) {
+	data := make([]byte, en.frameLen)
+	if _, err := s.seg.ReadAt(data, en.off); err != nil {
+		return nil, fmt.Errorf("store: read frame: %w", err)
+	}
+	frameLen, key, ok := parseFrame(data, s.opt.SchemaVersion)
+	if !ok || int64(frameLen) != en.frameLen || key != en.key {
+		return nil, errors.New("store: frame failed verification")
+	}
+	pay := data[headerSize:]
+	return pay[12+len(key):], nil
+}
+
+// touchLocked moves an entry to the most-recently-used position.
+func (s *Store) touchLocked(en *entry) {
+	s.lru.MoveToBack(en.elem)
+}
+
+// dropLocked removes an entry from the index without touching disk.
+func (s *Store) dropLocked(en *entry) {
+	s.lru.Remove(en.elem)
+	delete(s.index, en.key)
+}
+
+// evictLocked drops LRU entries until the live bytes fit targetBytes,
+// then compacts. The most recently used entry always survives. Caller
+// holds the exclusive flock.
+func (s *Store) evictLocked(targetBytes int64) error {
+	live := int64(0)
+	for _, en := range s.index {
+		live += en.frameLen
+	}
+	dropped := 0
+	for live > targetBytes && s.lru.Len() > 1 {
+		en := s.lru.Front().Value.(*entry)
+		live -= en.frameLen
+		s.dropLocked(en)
+		dropped++
+	}
+	if dropped > 0 {
+		s.evictions.Add(int64(dropped))
+		s.segDirty = true
+	}
+	if s.segDirty {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the live entries (LRU order, oldest first)
+// into a fresh segment and swaps CURRENT to it. Caller holds the
+// exclusive flock.
+func (s *Store) compactLocked() error {
+	newGen := s.gen + 1
+	newName := fmt.Sprintf("seg-%d.log", newGen)
+	tmpPath := filepath.Join(s.dir, newName+".tmp")
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	type placed struct {
+		en       *entry
+		off      int64
+		frameLen int64
+	}
+	var out []placed
+	off := int64(0)
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		en := el.Value.(*entry)
+		val, rerr := s.readEntryLocked(en)
+		if rerr != nil {
+			s.corrupt.Add(1)
+			continue
+		}
+		frame := encodeFrame(s.opt.SchemaVersion, en.key, val)
+		if _, err := f.Write(frame); err != nil {
+			f.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		out = append(out, placed{en: en, off: off, frameLen: int64(len(frame))})
+		off += int64(len(frame))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, newName)); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	if err := writeFileAtomic(s.dir, currentName, []byte(newName+"\n")); err != nil {
+		f.Close()
+		return err
+	}
+	oldName := s.segName
+	if s.seg != nil {
+		s.seg.Close()
+	}
+	s.seg = f
+	s.segName = newName
+	s.gen = newGen
+	s.size = off
+	s.segDirty = false
+	// Re-point live entries at their new frames; dropped (corrupt)
+	// ones leave the index.
+	kept := map[string]*entry{}
+	for _, p := range out {
+		p.en.off = p.off
+		p.en.frameLen = p.frameLen
+		kept[p.en.key] = p.en
+	}
+	for k, en := range s.index {
+		if kept[k] == nil {
+			s.lru.Remove(en.elem)
+		}
+	}
+	s.index = kept
+	if oldName != "" && oldName != newName {
+		os.Remove(filepath.Join(s.dir, oldName)) //nolint:errcheck // stale readers keep their handle
+	}
+	s.compactions.Add(1)
+	return nil
+}
+
+// writeFileAtomic writes name under dir via temp+rename+dir-fsync.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		f.Sync() //nolint:errcheck // content fsync is best-effort on some filesystems
+		f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,396 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, key, val string) {
+	t.Helper()
+	if err := s.Put(key, []byte(val)); err != nil {
+		t.Fatalf("Put(%s): %v", key, err)
+	}
+}
+
+func mustGet(t *testing.T, s *Store, key, want string) {
+	t.Helper()
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatalf("Get(%s): miss, want %q", key, want)
+	}
+	if string(got) != want {
+		t.Fatalf("Get(%s) = %q, want %q", key, got, want)
+	}
+}
+
+func segPath(t *testing.T, dir string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if err != nil {
+		t.Fatalf("read CURRENT: %v", err)
+	}
+	return filepath.Join(dir, strings.TrimSpace(string(b)))
+}
+
+func TestStoreRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SchemaVersion: 1})
+	mustPut(t, s, "a", "alpha")
+	mustPut(t, s, "b", "beta")
+	mustGet(t, s, "a", "alpha")
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) hit")
+	}
+	if n := s.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Reopen: everything persisted, iteration order sorted.
+	s2 := openT(t, dir, Options{SchemaVersion: 1})
+	mustGet(t, s2, "a", "alpha")
+	mustGet(t, s2, "b", "beta")
+	if keys := s2.Keys(); len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v, want [a b]", keys)
+	}
+	st := s2.Stats()
+	if st.Hits != 2 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want 2 hits 0 misses", st)
+	}
+}
+
+func TestStorePutDedupAndOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SchemaVersion: 1})
+	mustPut(t, s, "k", "v1")
+	size1 := s.SizeBytes()
+	mustPut(t, s, "k", "v1") // identical: no growth
+	if got := s.SizeBytes(); got != size1 {
+		t.Fatalf("identical re-Put grew segment %d -> %d", size1, got)
+	}
+	mustPut(t, s, "k", "v2") // different: newest wins
+	mustGet(t, s, "k", "v2")
+	s.Close()
+	s2 := openT(t, dir, Options{SchemaVersion: 1})
+	mustGet(t, s2, "k", "v2")
+	if n := s2.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestStoreSchemaMismatchIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SchemaVersion: 1})
+	mustPut(t, s, "k", "v1")
+	s.Close()
+	// A build with a different schema version must never serve the old
+	// frame, and its own writes land under the new version.
+	s2 := openT(t, dir, Options{SchemaVersion: 2})
+	if _, ok := s2.Get("k"); ok {
+		t.Fatal("schema-mismatched frame was served")
+	}
+	if st := s2.Stats(); st.SchemaSkips == 0 {
+		t.Fatalf("stats = %+v, want SchemaSkips > 0", st)
+	}
+	mustPut(t, s2, "k", "v2")
+	mustGet(t, s2, "k", "v2")
+	s2.Close()
+	s3 := openT(t, dir, Options{SchemaVersion: 1})
+	if _, ok := s3.Get("k"); ok {
+		t.Fatal("new-schema frame served to old-schema reader")
+	}
+}
+
+// corruptByte flips one byte inside the value region of the first
+// frame holding key.
+func corruptFrame(t *testing.T, dir string) {
+	t.Helper()
+	path := segPath(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	if len(b) < headerSize+13 {
+		t.Fatalf("segment too small to corrupt: %d bytes", len(b))
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatalf("rewrite segment: %v", err)
+	}
+}
+
+func TestStoreCorruptFrameSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SchemaVersion: 1})
+	mustPut(t, s, "k", strings.Repeat("x", 100))
+	s.Close()
+	corruptFrame(t, dir)
+	s2 := openT(t, dir, Options{SchemaVersion: 1})
+	if _, ok := s2.Get("k"); ok {
+		t.Fatal("corrupt frame was served")
+	}
+	if st := s2.Stats(); st.CorruptFrames == 0 {
+		t.Fatalf("stats = %+v, want CorruptFrames > 0", st)
+	}
+	// Write-back heals: the new frame is served, and the segment
+	// compacts the dead bytes away.
+	mustPut(t, s2, "k", "fresh")
+	mustGet(t, s2, "k", "fresh")
+	s2.Close()
+	s3 := openT(t, dir, Options{SchemaVersion: 1})
+	mustGet(t, s3, "k", "fresh")
+	if st := s3.Stats(); st.CorruptFrames != 0 {
+		t.Fatalf("healed store still scans %d corrupt frames", st.CorruptFrames)
+	}
+}
+
+func TestStoreCorruptionBetweenFramesResyncs(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SchemaVersion: 1})
+	mustPut(t, s, "first", strings.Repeat("a", 64))
+	firstLen := s.SizeBytes()
+	mustPut(t, s, "second", strings.Repeat("b", 64))
+	s.Close()
+	// Mangle the first frame's length field: the scanner must resync
+	// on the second frame's magic rather than derail.
+	path := segPath(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[5] ^= 0xA5 // payLen of frame one
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_ = firstLen
+	s2 := openT(t, dir, Options{SchemaVersion: 1})
+	if _, ok := s2.Get("first"); ok {
+		t.Fatal("frame with mangled length was served")
+	}
+	mustGet(t, s2, "second", strings.Repeat("b", 64))
+}
+
+func TestStoreTornTailTruncatedByWriter(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SchemaVersion: 1})
+	mustPut(t, s, "whole", "value")
+	s.Close()
+	// Simulate a crash mid-append: a half-written frame at the tail.
+	path := segPath(t, dir)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := encodeFrame(1, "torn", []byte("never committed"))
+	if _, err := f.Write(torn[:len(torn)-5]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s2 := openT(t, dir, Options{SchemaVersion: 1})
+	if _, ok := s2.Get("torn"); ok {
+		t.Fatal("torn frame was served")
+	}
+	mustGet(t, s2, "whole", "value")
+	mustPut(t, s2, "after", "append lands cleanly")
+	mustGet(t, s2, "after", "append lands cleanly")
+	s2.Close()
+	s3 := openT(t, dir, Options{SchemaVersion: 1})
+	mustGet(t, s3, "whole", "value")
+	mustGet(t, s3, "after", "append lands cleanly")
+	if st := s3.Stats(); st.CorruptFrames != 0 {
+		t.Fatalf("truncated tail still scans as %d corrupt frames", st.CorruptFrames)
+	}
+}
+
+func TestStoreEvictionRespectsCapAndLRU(t *testing.T) {
+	dir := t.TempDir()
+	val := strings.Repeat("v", 200)
+	frame := int64(len(encodeFrame(1, "key-00", []byte(val))))
+	cap := 5 * frame
+	s := openT(t, dir, Options{SchemaVersion: 1, MaxBytes: cap})
+	for i := 0; i < 4; i++ {
+		mustPut(t, s, fmt.Sprintf("key-%02d", i), val)
+	}
+	// Touch key-00 so it is the most recently used of the old entries.
+	mustGet(t, s, "key-00", val)
+	for i := 4; i < 12; i++ {
+		mustPut(t, s, fmt.Sprintf("key-%02d", i), val)
+	}
+	if got := s.SizeBytes(); got > cap {
+		t.Fatalf("segment %d bytes exceeds cap %d", got, cap)
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions", st)
+	}
+	// The untouched early keys must have been evicted before the
+	// touched one.
+	if _, ok := s.Get("key-01"); ok {
+		if _, ok00 := s.Get("key-00"); !ok00 {
+			t.Fatal("LRU order inverted: untouched key survived, touched key evicted")
+		}
+	}
+	// Explicit Evict down to two frames.
+	if _, err := s.Evict(2 * frame); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if got := s.SizeBytes(); got > 2*frame {
+		t.Fatalf("after Evict segment is %d bytes, want <= %d", got, 2*frame)
+	}
+	s.Close()
+	s2 := openT(t, dir, Options{SchemaVersion: 1, MaxBytes: cap})
+	if n := s2.Len(); n == 0 || n > 2 {
+		t.Fatalf("after eviction Len = %d, want 1..2", n)
+	}
+}
+
+func TestStoreVerify(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SchemaVersion: 1})
+	mustPut(t, s, "good", "value")
+	mustPut(t, s, "bad", "reject me")
+	rep, err := s.Verify(func(key string, val []byte) error {
+		if key == "bad" {
+			return fmt.Errorf("bad value")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep.Entries != 2 || rep.BadValues != 1 || rep.CorruptFrames != 0 {
+		t.Fatalf("report = %+v, want 2 entries, 1 bad, 0 corrupt", rep)
+	}
+	s.Close()
+	// Corrupt the first frame (mid-file, a later frame still intact):
+	// truncation cannot heal it, so Verify must report it.
+	path := segPath(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[20] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, Options{SchemaVersion: 1})
+	rep2, err := s2.Verify(nil)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep2.CorruptFrames == 0 {
+		t.Fatalf("report = %+v, want corrupt frames detected", rep2)
+	}
+}
+
+func TestStoreConcurrentGoroutines(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SchemaVersion: 1})
+	const (
+		writers = 4
+		readers = 4
+		keys    = 32
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				key := fmt.Sprintf("key-%02d", i)
+				if err := s.Put(key, []byte("val-"+key)); err != nil {
+					t.Errorf("Put(%s): %v", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				key := fmt.Sprintf("key-%02d", i)
+				if val, ok := s.Get(key); ok && string(val) != "val-"+key {
+					t.Errorf("Get(%s) = %q", key, val)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := s.Len(); n != keys {
+		t.Fatalf("Len = %d, want %d", n, keys)
+	}
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%02d", i)
+		mustGet(t, s, key, "val-"+key)
+	}
+}
+
+// TestStoreTwoProcesses shares one directory between this process and
+// a re-executed copy of the test binary, interleaving writes from both
+// sides under the advisory lock.
+func TestStoreTwoProcesses(t *testing.T) {
+	if os.Getenv("STORE_HELPER_DIR") != "" {
+		t.Skip("helper invocation")
+	}
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SchemaVersion: 1})
+	mustPut(t, s, "parent-0", "from parent")
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestStoreHelperProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), "STORE_HELPER_DIR="+dir)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("helper process: %v\n%s", err, out)
+	}
+	// The child's commits are visible here without reopening.
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("child-%d", i)
+		mustGet(t, s, key, "from child "+key)
+	}
+	mustGet(t, s, "parent-0", "from parent")
+	mustPut(t, s, "parent-1", "after child")
+	if n := s.Len(); n != 10 {
+		t.Fatalf("Len = %d, want 10", n)
+	}
+}
+
+// TestStoreHelperProcess is the child side of TestStoreTwoProcesses;
+// it only runs when re-executed with STORE_HELPER_DIR set.
+func TestStoreHelperProcess(t *testing.T) {
+	dir := os.Getenv("STORE_HELPER_DIR")
+	if dir == "" {
+		t.Skip("not a helper invocation")
+	}
+	s, err := Open(dir, Options{SchemaVersion: 1})
+	if err != nil {
+		t.Fatalf("child Open: %v", err)
+	}
+	defer s.Close()
+	// The parent's pre-existing entry must be visible.
+	if val, ok := s.Get("parent-0"); !ok || string(val) != "from parent" {
+		t.Fatalf("child Get(parent-0) = %q, %v", val, ok)
+	}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("child-%d", i)
+		if err := s.Put(key, []byte("from child "+key)); err != nil {
+			t.Fatalf("child Put(%s): %v", key, err)
+		}
+	}
+}
